@@ -1,0 +1,138 @@
+(* Bench harness.
+
+   Pass 1 regenerates every table and figure of the paper (one experiment
+   per artefact, see DESIGN.md's index) — the reproduction output proper.
+   Pass 2 times the computational kernels with bechamel, one Test.make per
+   kernel, so performance regressions in the library are visible.
+
+   Run with:  dune exec bench/main.exe            (both passes)
+              dune exec bench/main.exe -- tables  (reproduction only)
+              dune exec bench/main.exe -- kernels (timings only)      *)
+
+open Bechamel
+open Toolkit
+
+let seed = 42
+
+(* ------------------------------------------------------------------ *)
+(* Kernel benchmarks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_universe n =
+  let rng = Numerics.Rng.create ~seed in
+  Core.Universe.uniform_random rng ~n ~p_lo:0.01 ~p_hi:0.4 ~total_q:0.5
+
+let tests () =
+  let u_small = kernel_universe 16 in
+  let u_big = kernel_universe 1000 in
+  let ps_big = Core.Universe.ps u_big in
+  let rng = Numerics.Rng.create ~seed:(seed + 1) in
+  let space =
+    Demandspace.Genspace.disjoint_space rng ~width:48 ~height:48 ~n_faults:12
+      ~max_extent:4 ~p_lo:0.05 ~p_hi:0.4
+      ~profile:(Demandspace.Profile.uniform ~size:(48 * 48))
+  in
+  let va, vb = Simulator.Devteam.develop_pair rng space in
+  let system =
+    Simulator.Protection.one_out_of_two
+      (Simulator.Channel.create ~name:"A" va)
+      (Simulator.Channel.create ~name:"B" vb)
+  in
+  let prior = Extensions.Bayes.of_pfd_dist (Core.Pfd_dist.exact_pair u_small) in
+  [
+    Test.make ~name:"moments/n=1000"
+      (Staged.stage (fun () -> ignore (Core.Moments.compute u_big)));
+    Test.make ~name:"risk-ratio/n=1000"
+      (Staged.stage (fun () -> ignore (Core.Fault_count.risk_ratio u_big)));
+    Test.make ~name:"poisson-binomial/n=1000"
+      (Staged.stage (fun () -> ignore (Core.Fault_count.poisson_binomial ps_big)));
+    Test.make ~name:"exact-pfd-dist/n=16"
+      (Staged.stage (fun () -> ignore (Core.Pfd_dist.exact_single u_small)));
+    Test.make ~name:"grid-pfd-dist/n=1000,bins=2048"
+      (Staged.stage (fun () -> ignore (Core.Pfd_dist.grid_single u_big ~bins:2048)));
+    Test.make ~name:"sensitivity-gradient/n=1000"
+      (Staged.stage (fun () ->
+           ignore (Core.Sensitivity.risk_ratio_gradient ps_big)));
+    Test.make ~name:"normal-ppf"
+      (Staged.stage
+         (let p = ref 0.001 in
+          fun () ->
+            p := if !p > 0.99 then 0.001 else !p +. 0.001;
+            ignore (Numerics.Normal_dist.ppf !p)));
+    Test.make ~name:"develop-pair/n=1000"
+      (Staged.stage
+         (let r = Numerics.Rng.create ~seed:(seed + 2) in
+          fun () -> ignore (Simulator.Devteam.pair_pfd_from_universe r u_big)));
+    Test.make ~name:"run-1000-demands"
+      (Staged.stage
+         (let r = Numerics.Rng.create ~seed:(seed + 3) in
+          fun () -> ignore (Simulator.Runner.run r ~system ~demand_count:1000)));
+    Test.make ~name:"bayes-update/10k-demands"
+      (Staged.stage (fun () ->
+           ignore (Extensions.Bayes.observe_failure_free prior ~demands:10_000)));
+    Test.make ~name:"el-difficulty-sweep/48x48"
+      (Staged.stage (fun () ->
+           ignore (Baselines.Eckhardt_lee.mean_pair space)));
+  ]
+
+let run_kernels () =
+  print_endline "\n================ kernel timings (bechamel, OLS) ================";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw =
+    List.fold_left
+      (fun acc test ->
+        List.fold_left
+          (fun acc elt ->
+            Hashtbl.add acc (Test.Elt.name elt) (Benchmark.run cfg instances elt);
+            acc)
+          acc (Test.elements test))
+      (Hashtbl.create 16) (tests ())
+  in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Printf.printf "%-34s %14s %10s\n" "kernel" "ns/run" "r^2";
+  Printf.printf "%s\n" (String.make 60 '-');
+  Hashtbl.iter
+    (fun _measure per_test ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
+      in
+      List.iter
+        (fun (name, ols) ->
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> Printf.sprintf "%14.1f" e
+            | _ -> Printf.sprintf "%14s" "n/a"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%10.4f" r
+            | None -> Printf.sprintf "%10s" "n/a"
+          in
+          Printf.printf "%-34s %s %s\n" name estimate r2)
+        (List.sort compare rows))
+    merged
+
+let run_tables () =
+  print_endline
+    "================ paper artefact reproduction (all tables & figures) \
+     ================";
+  Experiments.Registry.run_all ~seed ()
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match mode with
+  | "tables" -> run_tables ()
+  | "kernels" -> run_kernels ()
+  | _ ->
+      run_tables ();
+      run_kernels ());
+  print_endline "\nbench: done"

@@ -1,0 +1,71 @@
+(* Command-line front end for the reproduction experiments.
+
+   Usage:
+     divrel-experiments list
+     divrel-experiments run E04 [--seed 7]
+     divrel-experiments all [--seed 7]            *)
+
+open Cmdliner
+
+let setup_logs () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+let seed_arg =
+  let doc = "Random seed used by every stochastic experiment component." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let list_cmd =
+  let run () =
+    setup_logs ();
+    List.iter
+      (fun e ->
+        Printf.printf "%-4s %-38s %s\n" e.Experiments.Experiment.id
+          e.Experiments.Experiment.paper_ref e.Experiments.Experiment.description)
+      Experiments.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every reproduced table/figure/claim")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id, e.g. E04 (see 'list').")
+  in
+  let run id seed =
+    setup_logs ();
+    match Experiments.Registry.find id with
+    | Some e ->
+        Experiments.Experiment.run_and_print ~seed e;
+        `Ok ()
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown experiment %S; known: %s" id
+              (String.concat ", " (Experiments.Registry.ids ())) )
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment by id")
+    Term.(ret (const run $ id_arg $ seed_arg))
+
+let all_cmd =
+  let run seed =
+    setup_logs ();
+    Experiments.Registry.run_all ~seed ()
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in order")
+    Term.(const run $ seed_arg)
+
+let main =
+  let doc =
+    "Reproduction harness for Popov & Strigini, 'The Reliability of Diverse \
+     Systems' (DSN 2001)"
+  in
+  Cmd.group (Cmd.info "divrel-experiments" ~doc) [ list_cmd; run_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main)

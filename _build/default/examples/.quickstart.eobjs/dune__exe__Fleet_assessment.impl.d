@@ -1,0 +1,1 @@
+examples/fleet_assessment.ml: Array Core Demandspace Fmt Numerics Simulator

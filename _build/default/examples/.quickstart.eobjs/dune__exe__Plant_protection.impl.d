@@ -1,0 +1,1 @@
+examples/plant_protection.ml: Core Demandspace Fmt List Numerics Simulator String

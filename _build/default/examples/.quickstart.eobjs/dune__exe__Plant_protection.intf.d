@@ -1,0 +1,1 @@
+examples/plant_protection.mli:

@@ -1,0 +1,1 @@
+examples/process_strategy.ml: Baselines Core Extensions Fmt Numerics Printf

@@ -1,0 +1,1 @@
+examples/safety_case.ml: Core Extensions Fmt List Numerics

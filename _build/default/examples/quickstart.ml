@@ -1,0 +1,58 @@
+(* Quickstart: build a fault universe, read off the paper's headline
+   quantities, and sanity-check them against Monte Carlo development.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* A development process with ten potential faults. Each fault has a
+     probability p of surviving development in a given version and a
+     failure-region measure q (probability that an operational demand hits
+     it). *)
+  let universe =
+    Core.Universe.of_pairs
+      [
+        (0.10, 0.004); (0.05, 0.010); (0.20, 0.002); (0.02, 0.030);
+        (0.15, 0.001); (0.08, 0.006); (0.01, 0.050); (0.12, 0.003);
+        (0.04, 0.015); (0.06, 0.008);
+      ]
+  in
+
+  (* Eqs. (1)-(2): moments of the PFD of one version and of an
+     independently developed 1-out-of-2 pair. *)
+  let m = Core.Moments.compute universe in
+  Fmt.pr "moments:           %a@." Core.Moments.pp m;
+  Fmt.pr "mean gain (mu1/mu2):    %.1fx@." (Core.Moments.mean_gain universe);
+
+  (* Section 4: probability that the pair shares no fault at all, and the
+     eq. (10) risk ratio. *)
+  Fmt.pr "P(version faulty):      %.4f@." (Core.Fault_count.p_n1_pos universe);
+  Fmt.pr "P(pair shares a fault): %.4f@." (Core.Fault_count.p_n2_pos universe);
+  Fmt.pr "risk ratio (eq. 10):    %.4f@." (Core.Fault_count.risk_ratio universe);
+
+  (* Section 5: 99% confidence bounds under the normal approximation, and
+     the guaranteed pmax-based bound an assessor can use. *)
+  let b = Core.Normal_approx.bound_at_confidence universe ~confidence:0.99 in
+  Fmt.pr "99%% bound, one version: %.5f@." b.Core.Normal_approx.single;
+  Fmt.pr "99%% bound, 1oo2 pair:   %.5f@." b.Core.Normal_approx.pair;
+  Fmt.pr "eq. (12) guarantee:     %.5f (using only pmax = %.2f)@."
+    (Core.Bounds.pair_bound_from_bound ~single_bound:b.Core.Normal_approx.single
+       ~pmax:(Core.Universe.pmax universe))
+    (Core.Universe.pmax universe);
+
+  (* The exact PFD distribution (the paper stops at the normal
+     approximation; on a finite universe we can enumerate). *)
+  let pair_dist = Core.Pfd_dist.exact_pair universe in
+  Fmt.pr "exact pair PFD q99:     %.5f@." (Core.Pfd_dist.quantile pair_dist 0.99);
+
+  (* Cross-check the analytic answers by simulating the development
+     process itself: 50000 independently developed pairs. *)
+  let rng = Numerics.Rng.create ~seed:1 in
+  let est = Simulator.Montecarlo.estimate rng universe ~replications:50_000 in
+  Fmt.pr "@.Monte Carlo over 50000 developed pairs:@.";
+  Fmt.pr "  mean version PFD:     %.5f (analytic %.5f)@."
+    est.Simulator.Montecarlo.theta1.Numerics.Stats.mean m.Core.Moments.mu1;
+  Fmt.pr "  mean pair PFD:        %.5f (analytic %.5f)@."
+    est.Simulator.Montecarlo.theta2.Numerics.Stats.mean m.Core.Moments.mu2;
+  Fmt.pr "  risk ratio:           %.4f (analytic %.4f)@."
+    est.Simulator.Montecarlo.risk_ratio
+    (Core.Fault_count.risk_ratio universe)

@@ -1,0 +1,74 @@
+(* Safety-case example: an assessor must decide whether a 1-out-of-2
+   protection system meets "PFD <= 1e-3 at 99% confidence" (the SIL2/SIL3 band boundary), given
+   process evidence about a single version and a demonstrated bound on
+   pmax — the exact scenario of the paper's Section 5.
+
+   Run with:  dune exec examples/safety_case.exe *)
+
+let () =
+  (* Evidence about the development process, elicited as a fault universe.
+     In practice the assessor cannot know this; the point of the paper's
+     bounds is that only pmax and the single-version bound are needed. *)
+  let rng = Numerics.Rng.create ~seed:7 in
+  let universe =
+    Core.Universe.power_law_random rng ~n:40 ~p_lo:0.001 ~p_hi:0.08
+      ~q_exponent:(-1.5) ~total_q:0.02
+  in
+  let requirement = 1e-3 and confidence = 0.99 in
+
+  Fmt.pr "requirement: PFD <= %g at %g%% confidence (%s)@." requirement
+    (100.0 *. confidence)
+    (Core.Assessment.sil_to_string (Core.Assessment.sil_of_pfd requirement));
+
+  let verdict =
+    Core.Assessment.assess universe ~required_bound:requirement ~confidence
+  in
+  Fmt.pr "@.%a@." Core.Assessment.pp_verdict verdict;
+
+  (* What would the assessor need to believe about pmax for the eq. (12)
+     argument alone to close the case? *)
+  (match
+     Core.Assessment.required_pmax_for_bound
+       ~single_bound:verdict.Core.Assessment.single_bound
+       ~required_bound:requirement
+   with
+  | Some pmax ->
+      Fmt.pr
+        "@.the eq. (12) argument closes the case iff the assessor can \
+         defend pmax <= %.4f@."
+        pmax;
+      Fmt.pr "   (this process's actual pmax: %.4f)@."
+        (Core.Universe.pmax universe)
+  | None -> Fmt.pr "@.no pmax bound can close the case via eq. (12) alone@.");
+
+  (* The gain the assessor may claim, three ways. *)
+  let k, mean_gain, bound_gain, risk_gain =
+    Core.Assessment.diversity_gain_summary universe ~confidence
+  in
+  Fmt.pr "@.diversity gain at k = %.3f:@." k;
+  Fmt.pr "  on mean PFD:          %.1fx@." mean_gain;
+  Fmt.pr "  on confidence bounds: %.1fx@." bound_gain;
+  Fmt.pr "  on P(any common fault): %.1fx@." risk_gain;
+
+  (* Combine the model prior with operational evidence (conclusions /
+     ref [14]): how much failure-free operation until 99% posterior
+     confidence in the requirement? *)
+  let prior = Extensions.Bayes.of_pfd_dist (Core.Pfd_dist.pair universe) in
+  Fmt.pr "@.Bayesian assessment with the model-based prior:@.";
+  Fmt.pr "  prior P(PFD <= %g) = %.4f@." requirement
+    (Extensions.Bayes.prob_at_most prior requirement);
+  (match
+     Extensions.Bayes.demands_for_confidence prior ~bound:requirement
+       ~confidence:0.99 ~max_demands:5_000_000
+   with
+  | Some demands ->
+      Fmt.pr "  failure-free demands needed for 99%% posterior: %d@." demands
+  | None ->
+      Fmt.pr "  99%% posterior unreachable by failure-free operation alone@.");
+  List.iter
+    (fun demands ->
+      let post = Extensions.Bayes.observe_failure_free prior ~demands in
+      Fmt.pr "  after %6d failure-free demands: P(PFD <= %g) = %.4f@." demands
+        requirement
+        (Extensions.Bayes.prob_at_most post requirement))
+    [ 100; 1_000; 10_000 ]

@@ -1,0 +1,1 @@
+lib/baselines/eckhardt_lee.ml: Array Bitset Demandspace Kahan Numerics Special

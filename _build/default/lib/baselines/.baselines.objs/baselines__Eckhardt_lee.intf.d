@@ -1,0 +1,1 @@
+lib/baselines/eckhardt_lee.mli: Demandspace

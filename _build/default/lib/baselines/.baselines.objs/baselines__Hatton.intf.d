@@ -1,0 +1,1 @@
+lib/baselines/hatton.mli: Core

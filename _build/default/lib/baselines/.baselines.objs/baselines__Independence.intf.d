@@ -1,0 +1,1 @@
+lib/baselines/independence.mli: Core

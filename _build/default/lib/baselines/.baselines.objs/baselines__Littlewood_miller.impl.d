@@ -1,0 +1,1 @@
+lib/baselines/littlewood_miller.ml: Array Bitset Demandspace Kahan Numerics Special

@@ -1,0 +1,1 @@
+lib/baselines/littlewood_miller.mli: Demandspace

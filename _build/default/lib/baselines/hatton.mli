@@ -1,0 +1,28 @@
+(** The "N versions vs one good version" comparison of Hatton [1], posed
+    inside the fault-creation model (the paper's Section 1 cites this
+    debate as motivation, and [6]/[7] as its earlier responses).
+
+    The alternative to diversity is spending the second channel's budget on
+    making one version better, modelled as a uniform reduction of all fault
+    probabilities. *)
+
+type comparison = {
+  improvement_factor : float;
+      (** uniform scaling f applied to every p_i of the single version *)
+  single_improved_mu : float;  (** mean PFD of the improved single version *)
+  pair_mu : float;  (** mean PFD of the unimproved 1-out-of-2 pair *)
+  diversity_wins_mean : bool;
+  single_improved_bound : float;  (** mu + k sigma of the improved version *)
+  pair_bound : float;
+  diversity_wins_bound : bool;
+}
+
+val compare_at : Core.Universe.t -> improvement_factor:float -> k:float -> comparison
+(** Compare the two options at one improvement factor and confidence
+    multiplier k. *)
+
+val break_even_factor : Core.Universe.t -> float
+(** mu2/mu1: the uniform improvement a single version needs to match the
+    pair on mean PFD; bounded above by pmax (eq. 4). *)
+
+val sweep : Core.Universe.t -> k:float -> factors:float array -> comparison array

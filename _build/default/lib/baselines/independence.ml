@@ -1,0 +1,19 @@
+let pair_pfd ~single_pfd = single_pfd *. single_pfd
+
+let predicted_mu2 u =
+  let m1 = Core.Moments.mu1 u in
+  m1 *. m1
+
+let underestimation_factor u =
+  let indep = predicted_mu2 u in
+  if indep = 0.0 then nan else Core.Moments.mu2 u /. indep
+
+let model_gain u =
+  let m2 = Core.Moments.mu2 u in
+  if m2 = 0.0 then infinity else Core.Moments.mu1 u /. m2
+
+let independence_gain u =
+  let m1 = Core.Moments.mu1 u in
+  if m1 = 0.0 then infinity else 1.0 /. m1
+
+let eq4_beats_independence u = Core.Universe.pmax u <= Core.Moments.mu1 u

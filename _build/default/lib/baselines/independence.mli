@@ -1,0 +1,27 @@
+(** The failure-independence baseline the paper argues against.
+
+    Claims of independence predict a pair PFD equal to the product of the
+    version PFDs; the EL/LM analysis (re-derivable in this model) shows the
+    true expected pair PFD is at least E(Theta_1)^2 and usually more.
+    These functions quantify the optimism of the independence claim for a
+    given universe. *)
+
+val pair_pfd : single_pfd:float -> float
+(** The independence prediction for a pair of versions with the given PFD. *)
+
+val predicted_mu2 : Core.Universe.t -> float
+(** E(Theta_1)^2: the independence prediction for the mean pair PFD. *)
+
+val underestimation_factor : Core.Universe.t -> float
+(** mu2 / mu1^2 >= 1: how many times worse the true mean pair PFD is than
+    the independence claim (the EL-style penalty). *)
+
+val model_gain : Core.Universe.t -> float
+(** mu1/mu2 under the fault-creation model. *)
+
+val independence_gain : Core.Universe.t -> float
+(** 1/mu1: the gain independence would promise. *)
+
+val eq4_beats_independence : Core.Universe.t -> bool
+(** Section 3.1.1: the eq. (4) upper-bound prediction is at least as strong
+    as the independence prediction exactly when pmax <= mu1. *)

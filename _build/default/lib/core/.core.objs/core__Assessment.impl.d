@@ -1,0 +1,1 @@
+lib/core/assessment.ml: Bounds Fault_count Float Fmt Moments Normal_approx Universe

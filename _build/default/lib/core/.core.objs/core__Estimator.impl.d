@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Array Fault_count Float List Moments Numerics Rng Stats Universe

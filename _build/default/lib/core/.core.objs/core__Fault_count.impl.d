@@ -1,0 +1,1 @@
+lib/core/fault_count.ml: Array Fault Kahan Numerics Special Universe

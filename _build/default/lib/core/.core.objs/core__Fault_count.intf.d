@@ -1,0 +1,1 @@
+lib/core/fault_count.mli: Universe

@@ -1,0 +1,1 @@
+lib/core/improvement.ml: Array Fault Fault_count Float List Moments Universe

@@ -1,0 +1,1 @@
+lib/core/improvement.mli: Universe

@@ -1,0 +1,1 @@
+lib/core/moments.ml: Fault Fmt Kahan Numerics Universe

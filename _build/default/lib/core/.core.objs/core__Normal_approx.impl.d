@@ -1,0 +1,1 @@
+lib/core/normal_approx.ml: Bounds Ks Moments Normal_dist Numerics Pfd_dist

@@ -1,0 +1,1 @@
+lib/core/normal_approx.mli: Universe

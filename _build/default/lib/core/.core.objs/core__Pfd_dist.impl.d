@@ -1,0 +1,1 @@
+lib/core/pfd_dist.ml: Array Float Kahan List Numerics Printf Rng Universe

@@ -1,0 +1,1 @@
+lib/core/pfd_dist.mli: Numerics Universe

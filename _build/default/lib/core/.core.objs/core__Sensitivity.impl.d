@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Array Fault_count Float Kahan Numerics Rootfind Special

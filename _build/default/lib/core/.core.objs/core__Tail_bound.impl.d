@@ -1,0 +1,1 @@
+lib/core/tail_bound.ml: Array Kahan Moments Numerics Rootfind Special Universe

@@ -1,0 +1,1 @@
+lib/core/universe.ml: Array Fault Fmt List Numerics

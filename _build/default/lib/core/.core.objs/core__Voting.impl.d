@@ -1,0 +1,1 @@
+lib/core/voting.ml: Array Betainc Fault Fault_count Fmt Kahan Numerics Pfd_dist Universe

@@ -1,0 +1,1 @@
+lib/core/voting.mli: Format Pfd_dist Universe

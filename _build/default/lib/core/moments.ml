@@ -1,0 +1,53 @@
+open Numerics
+
+let mu1 u = Kahan.sum_over (Universe.size u) (fun i -> Fault.mean_contribution (Universe.fault u i))
+
+let mu2 u =
+  Kahan.sum_over (Universe.size u) (fun i ->
+      Fault.common_mean_contribution (Universe.fault u i))
+
+let var1 u =
+  Kahan.sum_over (Universe.size u) (fun i ->
+      Fault.variance_contribution (Universe.fault u i))
+
+let var2 u =
+  Kahan.sum_over (Universe.size u) (fun i ->
+      Fault.common_variance_contribution (Universe.fault u i))
+
+let sigma1 u = sqrt (var1 u)
+let sigma2 u = sqrt (var2 u)
+
+let mu_n u ~channels =
+  if channels < 1 then invalid_arg "Moments.mu_n: need at least one channel";
+  Kahan.sum_over (Universe.size u) (fun i ->
+      let f = Universe.fault u i in
+      (Fault.p f ** float_of_int channels) *. Fault.q f)
+
+let var_n u ~channels =
+  if channels < 1 then invalid_arg "Moments.var_n: need at least one channel";
+  Kahan.sum_over (Universe.size u) (fun i ->
+      let f = Universe.fault u i in
+      let pn = Fault.p f ** float_of_int channels in
+      pn *. (1.0 -. pn) *. Fault.q f *. Fault.q f)
+
+let sigma_n u ~channels = sqrt (var_n u ~channels)
+
+let expected_fault_count u =
+  Kahan.sum_over (Universe.size u) (fun i -> Fault.p (Universe.fault u i))
+
+let expected_common_fault_count u =
+  Kahan.sum_over (Universe.size u) (fun i ->
+      let p = Fault.p (Universe.fault u i) in
+      p *. p)
+
+let mean_gain u =
+  let m2 = mu2 u in
+  if m2 = 0.0 then infinity else mu1 u /. m2
+
+type t = { mu1 : float; mu2 : float; sigma1 : float; sigma2 : float }
+
+let compute u = { mu1 = mu1 u; mu2 = mu2 u; sigma1 = sigma1 u; sigma2 = sigma2 u }
+
+let pp ppf m =
+  Fmt.pf ppf "mu1=%.6g sigma1=%.6g mu2=%.6g sigma2=%.6g" m.mu1 m.sigma1 m.mu2
+    m.sigma2

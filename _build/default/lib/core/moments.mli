@@ -1,0 +1,47 @@
+(** Moments of the probability of failure on demand (Section 3, eqs. 1–3).
+
+    In the model the PFD of a version is a sum of independent random
+    variables (one per potential fault: value q_i with probability p_i,
+    else 0), so means and variances are sums of the per-fault terms. For a
+    1-out-of-2 system developed independently the introduction probability
+    becomes p_i^2. *)
+
+val mu1 : Universe.t -> float
+(** E(Theta_1) = sum p_i q_i — mean PFD of a randomly developed version. *)
+
+val mu2 : Universe.t -> float
+(** E(Theta_2) = sum p_i^2 q_i — mean PFD of an independently developed
+    1-out-of-2 pair. *)
+
+val var1 : Universe.t -> float
+(** Var(Theta_1) = sum p_i (1-p_i) q_i^2. *)
+
+val var2 : Universe.t -> float
+(** Var(Theta_2) = sum p_i^2 (1-p_i^2) q_i^2. *)
+
+val sigma1 : Universe.t -> float
+val sigma2 : Universe.t -> float
+
+val mu_n : Universe.t -> channels:int -> float
+(** Mean PFD of a 1-out-of-N system (fault common to all N independently
+    developed channels with probability p_i^N); [channels = 1] and
+    [channels = 2] recover {!mu1} and {!mu2}. *)
+
+val var_n : Universe.t -> channels:int -> float
+val sigma_n : Universe.t -> channels:int -> float
+
+val expected_fault_count : Universe.t -> float
+(** E(N_1) = sum p_i. *)
+
+val expected_common_fault_count : Universe.t -> float
+(** E(N_2) = sum p_i^2. *)
+
+val mean_gain : Universe.t -> float
+(** mu1 / mu2 — the mean-reliability improvement factor from diversity;
+    [infinity] when the pair's mean PFD is exactly zero. *)
+
+type t = { mu1 : float; mu2 : float; sigma1 : float; sigma2 : float }
+(** All four headline moments in one record. *)
+
+val compute : Universe.t -> t
+val pp : Format.formatter -> t -> unit

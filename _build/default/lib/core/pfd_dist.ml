@@ -1,0 +1,213 @@
+open Numerics
+
+type t = { xs : float array; ws : float array; cum : float array }
+
+let of_mass pairs =
+  let pairs = List.filter (fun (_, w) -> w > 0.0) pairs in
+  if pairs = [] then invalid_arg "Pfd_dist.of_mass: no positive mass";
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  (* merge equal support points *)
+  let merged =
+    List.fold_left
+      (fun acc (x, w) ->
+        match acc with
+        | (x0, w0) :: rest when x = x0 -> (x0, w0 +. w) :: rest
+        | _ -> (x, w) :: acc)
+      [] sorted
+    |> List.rev
+  in
+  let xs = Array.of_list (List.map fst merged) in
+  let ws = Array.of_list (List.map snd merged) in
+  let total = Kahan.sum_array ws in
+  let ws = Array.map (fun w -> w /. total) ws in
+  let cum = Array.make (Array.length ws) 0.0 in
+  let acc = Kahan.create () in
+  Array.iteri
+    (fun i w ->
+      Kahan.add acc w;
+      cum.(i) <- min 1.0 (Kahan.total acc))
+    ws;
+  cum.(Array.length cum - 1) <- 1.0;
+  { xs; ws; cum }
+
+let support t = Array.copy t.xs
+let masses t = Array.copy t.ws
+let size t = Array.length t.xs
+
+let mean t = Kahan.dot t.xs t.ws
+
+let variance t =
+  let m = mean t in
+  Kahan.sum_over (size t) (fun i ->
+      let d = t.xs.(i) -. m in
+      t.ws.(i) *. d *. d)
+
+let std t = sqrt (variance t)
+
+let cdf t x =
+  (* P(X <= x): index of last support point <= x. *)
+  let n = size t in
+  if n = 0 || x < t.xs.(0) then 0.0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    if x >= t.xs.(n - 1) then 1.0
+    else begin
+      (* invariant: xs(lo) <= x < xs(hi) *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if t.xs.(mid) <= x then lo := mid else hi := mid
+      done;
+      t.cum.(!lo)
+    end
+  end
+
+let sf t x = 1.0 -. cdf t x
+
+let quantile t alpha =
+  if alpha < 0.0 || alpha > 1.0 then
+    invalid_arg "Pfd_dist.quantile: alpha outside [0, 1]";
+  (* smallest x with CDF(x) >= alpha *)
+  let n = size t in
+  let rec search lo hi =
+    if lo >= hi then t.xs.(lo)
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cum.(mid) >= alpha then search lo mid else search (mid + 1) hi
+  in
+  search 0 (n - 1)
+
+let prob_positive t = 1.0 -. cdf t 0.0
+
+let sample t rng =
+  let u = Rng.float rng in
+  let n = size t in
+  let rec search lo hi =
+    if lo >= hi then t.xs.(lo)
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cum.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (n - 1)
+
+let max_exact_faults = 22
+
+(* Exact distribution of sum of independent {0, q_i} variables with
+   P(q_i) = probs.(i): breadth-first doubling over sorted support lists. *)
+let exact_of_vectors ~probs ~values =
+  let n = Array.length probs in
+  if n <> Array.length values then
+    invalid_arg "Pfd_dist.exact_of_vectors: length mismatch";
+  if n > max_exact_faults then
+    invalid_arg
+      (Printf.sprintf
+         "Pfd_dist.exact_of_vectors: %d faults exceeds the exact-enumeration \
+          limit of %d; use grid_of_vectors"
+         n max_exact_faults);
+  (* dist held as sorted (value, mass) arrays; each fault merges the
+     shifted copy in linear time. *)
+  let xs = ref [| 0.0 |] and ws = ref [| 1.0 |] in
+  for i = 0 to n - 1 do
+    let p = probs.(i) and q = values.(i) in
+    if p > 0.0 then begin
+      let old_xs = !xs and old_ws = !ws in
+      let m = Array.length old_xs in
+      let nxs = Array.make (2 * m) 0.0 and nws = Array.make (2 * m) 0.0 in
+      (* merge (old, weight (1-p)) with (old + q, weight p) *)
+      let a = ref 0 and b = ref 0 and out = ref 0 in
+      let push x w =
+        if !out > 0 && nxs.(!out - 1) = x then nws.(!out - 1) <- nws.(!out - 1) +. w
+        else begin
+          nxs.(!out) <- x;
+          nws.(!out) <- w;
+          incr out
+        end
+      in
+      while !a < m || !b < m do
+        let xa = if !a < m then old_xs.(!a) else infinity in
+        let xb = if !b < m then old_xs.(!b) +. q else infinity in
+        if xa <= xb then begin
+          push xa (old_ws.(!a) *. (1.0 -. p));
+          incr a
+        end
+        else begin
+          push xb (old_ws.(!b) *. p);
+          incr b
+        end
+      done;
+      xs := Array.sub nxs 0 !out;
+      ws := Array.sub nws 0 !out
+    end
+  done;
+  let pairs = Array.to_list (Array.map2 (fun x w -> (x, w)) !xs !ws) in
+  of_mass pairs
+
+let exact_single u = exact_of_vectors ~probs:(Universe.ps u) ~values:(Universe.qs u)
+
+let exact_pair u =
+  exact_of_vectors
+    ~probs:(Array.map (fun p -> p *. p) (Universe.ps u))
+    ~values:(Universe.qs u)
+
+let exact_nk u ~channels =
+  if channels < 1 then invalid_arg "Pfd_dist.exact_nk: channels < 1";
+  exact_of_vectors
+    ~probs:(Array.map (fun p -> p ** float_of_int channels) (Universe.ps u))
+    ~values:(Universe.qs u)
+
+(* Grid approximation: round every q_i to a multiple of the grid step and
+   run the same convolution on a dense array. The support error per fault
+   is at most half a step, so the total displacement is bounded by
+   n * step / 2. *)
+let grid_of_vectors ~probs ~values ~bins =
+  let n = Array.length probs in
+  if n <> Array.length values then
+    invalid_arg "Pfd_dist.grid_of_vectors: length mismatch";
+  if bins < 2 then invalid_arg "Pfd_dist.grid_of_vectors: need at least 2 bins";
+  let total = Kahan.sum_array values in
+  let step = if total > 0.0 then total /. float_of_int (bins - 1) else 1.0 in
+  let dist = Array.make bins 0.0 in
+  dist.(0) <- 1.0;
+  let top = ref 0 in
+  for i = 0 to n - 1 do
+    let p = probs.(i) in
+    if p > 0.0 then begin
+      let shift =
+        int_of_float (Float.round (values.(i) /. step))
+      in
+      if shift = 0 then begin
+        (* region too small for the grid: fold its mass into "no change";
+           the caller can check the induced mean error via [mean]. *)
+        ()
+      end
+      else begin
+        let new_top = min (bins - 1) (!top + shift) in
+        for j = new_top downto 0 do
+          let keep = dist.(j) *. (1.0 -. p) in
+          let arrive = if j >= shift then dist.(j - shift) *. p else 0.0 in
+          dist.(j) <- keep +. arrive
+        done;
+        top := new_top
+      end
+    end
+  done;
+  let pairs = ref [] in
+  for j = bins - 1 downto 0 do
+    if dist.(j) > 0.0 then pairs := (float_of_int j *. step, dist.(j)) :: !pairs
+  done;
+  of_mass !pairs
+
+let grid_single u ~bins =
+  grid_of_vectors ~probs:(Universe.ps u) ~values:(Universe.qs u) ~bins
+
+let grid_pair u ~bins =
+  grid_of_vectors
+    ~probs:(Array.map (fun p -> p *. p) (Universe.ps u))
+    ~values:(Universe.qs u) ~bins
+
+let single u =
+  if Universe.size u <= max_exact_faults then exact_single u
+  else grid_single u ~bins:4096
+
+let pair u =
+  if Universe.size u <= max_exact_faults then exact_pair u
+  else grid_pair u ~bins:4096

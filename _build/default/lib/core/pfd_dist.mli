@@ -1,0 +1,73 @@
+(** Exact and grid-approximated distributions of the PFD random variables
+    Theta_1 (one version) and Theta_2 (a 1-out-of-2 pair).
+
+    The paper works with means, variances and a normal approximation because
+    the full distribution has 2^n support points; on a finite universe we
+    can do better and compute it exactly (small n) or on a value grid
+    (large n), which is what lets experiments E06/E15 quantify how good the
+    paper's Section 5 normal approximation actually is. *)
+
+type t
+(** A finite discrete distribution on [0, 1] (sorted support, merged
+    duplicates, normalised mass, precomputed CDF). *)
+
+val of_mass : (float * float) list -> t
+(** Build from (value, mass) pairs; masses are normalised, zero-mass points
+    dropped. Raises [Invalid_argument] when no positive mass remains. *)
+
+val support : t -> float array
+val masses : t -> float array
+
+val size : t -> int
+(** Number of distinct support points. *)
+
+val mean : t -> float
+val variance : t -> float
+val std : t -> float
+
+val cdf : t -> float -> float
+(** P(X <= x), O(log n). *)
+
+val sf : t -> float -> float
+(** P(X > x). *)
+
+val quantile : t -> float -> float
+(** Smallest support point x with CDF(x) >= alpha — the "upper bound not
+    exceeded with a set probability" of Section 3. *)
+
+val prob_positive : t -> float
+(** P(X > 0): for the pair distribution this equals P(N2 > 0) when all q_i
+    are positive. *)
+
+val sample : t -> Numerics.Rng.t -> float
+(** Draw from the distribution by inverse transform. *)
+
+val max_exact_faults : int
+(** Largest universe size accepted by exact enumeration (22: 4M support
+    points before merging). *)
+
+val exact_of_vectors : probs:float array -> values:float array -> t
+(** Exact distribution of a sum of independent two-point variables taking
+    value [values.(i)] with probability [probs.(i)], else 0. *)
+
+val exact_single : Universe.t -> t
+(** Exact distribution of Theta_1. *)
+
+val exact_pair : Universe.t -> t
+(** Exact distribution of Theta_2 (introduction probabilities p_i^2). *)
+
+val exact_nk : Universe.t -> channels:int -> t
+(** Exact distribution of the PFD of a 1-out-of-N system. *)
+
+val grid_of_vectors : probs:float array -> values:float array -> bins:int -> t
+(** Grid convolution: every region measure is rounded to a multiple of
+    total_q/(bins-1); the support displacement is at most n*step/2.
+    Handles thousands of faults. *)
+
+val grid_single : Universe.t -> bins:int -> t
+val grid_pair : Universe.t -> bins:int -> t
+
+val single : Universe.t -> t
+(** Exact when the universe is small enough, otherwise a 4096-bin grid. *)
+
+val pair : Universe.t -> t

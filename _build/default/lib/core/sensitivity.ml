@@ -1,0 +1,66 @@
+open Numerics
+
+let prod_except_one ps i =
+  Kahan.sum_over (Array.length ps) (fun j ->
+      if j = i then 0.0 else Special.log1p (-.ps.(j)))
+  |> exp
+
+let prod_except_squared ps i =
+  Kahan.sum_over (Array.length ps) (fun j ->
+      if j = i then 0.0 else Special.log1p (-.(ps.(j) *. ps.(j))))
+  |> exp
+
+let risk_ratio_partial ps i =
+  let s1 = Fault_count.prob_some ps in
+  if s1 = 0.0 then nan
+  else
+    let s2 = Fault_count.prob_some (Array.map (fun p -> p *. p) ps) in
+    let ds1 = prod_except_one ps i in
+    let ds2 = 2.0 *. ps.(i) *. prod_except_squared ps i in
+    ((ds2 *. s1) -. (s2 *. ds1)) /. (s1 *. s1)
+
+let risk_ratio_gradient ps =
+  Array.init (Array.length ps) (fun i -> risk_ratio_partial ps i)
+
+let risk_ratio_k_derivative ~b ~k =
+  (* Chain rule for p_i = k b_i: dR/dk = sum_i b_i dR/dp_i. Appendix B
+     proves this is non-negative for 0 <= k b_i <= 1. *)
+  let ps = Array.map (fun bi -> k *. bi) b in
+  Kahan.sum_over (Array.length b) (fun i -> b.(i) *. risk_ratio_partial ps i)
+
+let stationary_p1 ~p2 =
+  if p2 <= 0.0 || p2 >= 1.0 then
+    invalid_arg "Sensitivity.stationary_p1: p2 must lie strictly in (0, 1)";
+  (* For n = 2 the ratio is R(p1) = (p1^2 + p2^2 - p1^2 p2^2) /
+     (p1 + p2 - p1 p2); setting dR/dp1 = 0 gives the quadratic
+     (1 - p2^2) p1^2 + 2 p2 (1 + p2) p1 - p2^2 = 0, whose positive root is
+     below.  (Derived independently; EXPERIMENTS.md records how this
+     compares with the root printed in the paper's Appendix A.) *)
+  p2 *. (sqrt (2.0 /. (1.0 +. p2)) -. 1.0) /. (1.0 -. p2)
+
+let risk_ratio_two ~p1 ~p2 =
+  ((p1 *. p1) +. (p2 *. p2) -. (p1 *. p1 *. p2 *. p2))
+  /. (p1 +. p2 -. (p1 *. p2))
+
+let stationary_point ps i ~lo ~hi =
+  let f x =
+    let ps' = Array.copy ps in
+    ps'.(i) <- x;
+    risk_ratio_partial ps' i
+  in
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then Some lo
+  else if fhi = 0.0 then Some hi
+  else if flo *. fhi > 0.0 then None
+  else Some (Rootfind.brent f ~lo ~hi)
+
+type improvement_effect = Increases_gain | Decreases_gain | Neutral
+
+let classify_single_improvement ps i =
+  (* Decreasing p_i moves the ratio by -dR/dp_i: a positive derivative
+     means improvement (decrease of p_i) lowers the ratio and so increases
+     the gain from diversity. *)
+  let d = risk_ratio_partial ps i in
+  if Float.is_nan d || abs_float d < 1e-14 then Neutral
+  else if d > 0.0 then Increases_gain
+  else Decreases_gain

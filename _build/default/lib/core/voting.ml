@@ -1,0 +1,56 @@
+open Numerics
+
+type t = { channels : int; required : int }
+
+let create ~channels ~required =
+  if channels < 1 then invalid_arg "Voting.create: need at least one channel";
+  if required < 1 || required > channels then
+    invalid_arg "Voting.create: required must lie in [1, channels]";
+  { channels; required }
+
+let one_out_of_two = { channels = 2; required = 1 }
+let two_out_of_three = { channels = 3; required = 2 }
+
+let channels t = t.channels
+let required t = t.required
+
+let fault_defeats_system t ~p =
+  (* The system mishandles a demand in fault i's region iff fewer than
+     [required] channels are free of fault i, i.e. at least
+     channels - required + 1 channels contain it. *)
+  let k = t.channels - t.required + 1 in
+  Betainc.binomial_tail_direct ~n:t.channels ~p k
+
+let mu t u =
+  Kahan.sum_over (Universe.size u) (fun i ->
+      let f = Universe.fault u i in
+      fault_defeats_system t ~p:(Fault.p f) *. Fault.q f)
+
+let var t u =
+  Kahan.sum_over (Universe.size u) (fun i ->
+      let f = Universe.fault u i in
+      let s = fault_defeats_system t ~p:(Fault.p f) in
+      s *. (1.0 -. s) *. Fault.q f *. Fault.q f)
+
+let sigma t u = sqrt (var t u)
+
+let system_fault_probs t u =
+  Array.map (fun f -> fault_defeats_system t ~p:(Fault.p f)) (Universe.faults u)
+
+let p_system_fault_free t u =
+  Fault_count.prob_none (system_fault_probs t u)
+
+let p_some_system_fault t u =
+  Fault_count.prob_some (system_fault_probs t u)
+
+let risk_ratio_vs_single t u =
+  let denom = Fault_count.p_n1_pos u in
+  if denom = 0.0 then nan else p_some_system_fault t u /. denom
+
+let pfd_dist t u =
+  Pfd_dist.exact_of_vectors ~probs:(system_fault_probs t u)
+    ~values:(Universe.qs u)
+
+let confidence_bound t u ~k = mu t u +. (k *. sigma t u)
+
+let pp ppf t = Fmt.pf ppf "%d-out-of-%d" t.required t.channels

@@ -1,0 +1,58 @@
+(** M-out-of-N voted architectures.
+
+    The paper analyses the 1-out-of-2 OR configuration of Fig. 1; the
+    fault-creation model extends verbatim to any M-out-of-N adjudication:
+    with non-overlapping failure regions, a demand in fault i's region is
+    mishandled exactly when too few channels are free of that fault, an
+    event with binomial probability in the per-channel p_i. All the
+    paper's machinery (moments, no-common-fault probabilities, exact PFD
+    distributions, mu + k sigma bounds) then carries over. *)
+
+type t
+(** An architecture: N independently developed channels of which at least
+    M must respond correctly. *)
+
+val create : channels:int -> required:int -> t
+(** Raises [Invalid_argument] unless 1 <= required <= channels. *)
+
+val one_out_of_two : t
+(** The paper's configuration. *)
+
+val two_out_of_three : t
+(** The classic majority-voting protection architecture. *)
+
+val channels : t -> int
+val required : t -> int
+
+val fault_defeats_system : t -> p:float -> float
+(** Probability that fault i (introduced per channel with probability [p])
+    is present in enough channels to defeat the vote:
+    P(Bin(N, p) >= N - M + 1). For 1-out-of-2 this is p^2, recovering the
+    paper's model. *)
+
+val mu : t -> Universe.t -> float
+(** Mean system PFD. *)
+
+val var : t -> Universe.t -> float
+val sigma : t -> Universe.t -> float
+
+val system_fault_probs : t -> Universe.t -> float array
+(** Per-fault probabilities of defeating the vote — the voted system's
+    analogue of the p_i^2 vector. *)
+
+val p_system_fault_free : t -> Universe.t -> float
+(** Probability that no fault defeats the vote (the Section 4 measure). *)
+
+val p_some_system_fault : t -> Universe.t -> float
+
+val risk_ratio_vs_single : t -> Universe.t -> float
+(** Eq. (10) generalised: P(some system-level fault)/P(single version
+    faulty). *)
+
+val pfd_dist : t -> Universe.t -> Pfd_dist.t
+(** Exact PFD distribution of the voted system. *)
+
+val confidence_bound : t -> Universe.t -> k:float -> float
+(** mu + k sigma for the voted system. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/demandspace/demand.mli: Format

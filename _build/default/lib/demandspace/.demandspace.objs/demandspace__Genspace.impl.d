@@ -1,0 +1,1 @@
+lib/demandspace/genspace.ml: Array Bitset Buffer Char List Numerics Profile Region Rng Space

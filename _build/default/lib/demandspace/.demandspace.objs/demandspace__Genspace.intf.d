@@ -1,0 +1,1 @@
+lib/demandspace/genspace.mli: Numerics Profile Region Space

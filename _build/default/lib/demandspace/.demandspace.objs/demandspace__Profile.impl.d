@@ -1,0 +1,1 @@
+lib/demandspace/profile.ml: Alias Array Bitset Demand Kahan Numerics Sampler

@@ -1,0 +1,1 @@
+lib/demandspace/profile.mli: Demand Numerics

@@ -1,0 +1,1 @@
+lib/demandspace/region.ml: Array Bitset Demand Fmt List Numerics Profile Rng

@@ -1,0 +1,1 @@
+lib/demandspace/region.mli: Demand Format Numerics Profile

@@ -1,0 +1,1 @@
+lib/demandspace/robustness.ml: Array Core Kahan List Numerics Profile Region Space

@@ -1,0 +1,1 @@
+lib/demandspace/robustness.mli: Core Profile Space

@@ -1,0 +1,1 @@
+lib/demandspace/space.ml: Array Bitset Core Fmt List Numerics Profile Region

@@ -1,0 +1,1 @@
+lib/demandspace/space.mli: Core Format Numerics Profile Region

@@ -1,0 +1,1 @@
+lib/demandspace/transform.ml: Array Bitset List Numerics Rng

@@ -1,0 +1,1 @@
+lib/demandspace/transform.mli: Numerics

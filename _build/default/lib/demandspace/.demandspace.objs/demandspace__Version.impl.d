@@ -1,0 +1,1 @@
+lib/demandspace/version.ml: Bitset Demand Fmt Kahan List Numerics Profile Region Space String

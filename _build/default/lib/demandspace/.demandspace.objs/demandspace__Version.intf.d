@@ -1,0 +1,1 @@
+lib/demandspace/version.mli: Demand Format Numerics Space

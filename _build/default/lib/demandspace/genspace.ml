@@ -1,0 +1,116 @@
+open Numerics
+
+let random_box rng ~width ~height ~max_side =
+  let w = 1 + Rng.int rng max_side in
+  let h = 1 + Rng.int rng max_side in
+  let w = min w width and h = min h height in
+  let x_lo = Rng.int rng (width - w + 1) in
+  let y_lo = Rng.int rng (height - h + 1) in
+  Region.box ~width ~height ~x_lo ~x_hi:(x_lo + w - 1) ~y_lo
+    ~y_hi:(y_lo + h - 1)
+
+let random_line rng ~width ~height ~max_steps =
+  let x0 = Rng.int rng width and y0 = Rng.int rng height in
+  let dirs = [| (1, 0); (0, 1); (1, 1); (1, -1) |] in
+  let dx, dy = dirs.(Rng.int rng (Array.length dirs)) in
+  let steps = 2 + Rng.int rng (max 1 (max_steps - 1)) in
+  Region.line ~width ~height ~x0 ~y0 ~dx ~dy ~steps
+
+let random_scatter rng ~width ~height ~max_points =
+  let count = 1 + Rng.int rng max_points in
+  Region.scatter rng ~space_size:(width * height) ~count
+
+let random_region rng ~width ~height ~max_extent =
+  match Rng.int rng 3 with
+  | 0 -> random_box rng ~width ~height ~max_side:max_extent
+  | 1 -> random_line rng ~width ~height ~max_steps:(2 * max_extent)
+  | _ -> random_scatter rng ~width ~height ~max_points:max_extent
+
+let place_disjoint rng ~width ~height ~n_faults ~max_extent =
+  let space_size = width * height in
+  let occupied = Bitset.create space_size in
+  let regions = ref [] in
+  let placed = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 1000 * n_faults in
+  while !placed < n_faults && !attempts < max_attempts do
+    incr attempts;
+    let r = random_region rng ~width ~height ~max_extent in
+    if Bitset.disjoint (Region.members r) occupied then begin
+      Bitset.union_in_place occupied (Region.members r);
+      regions := r :: !regions;
+      incr placed
+    end
+  done;
+  if !placed < n_faults then
+    invalid_arg
+      "Genspace.place_disjoint: could not place disjoint regions; lower \
+       n_faults or max_extent";
+  Array.of_list (List.rev !regions)
+
+let disjoint_space rng ~width ~height ~n_faults ~max_extent ~p_lo ~p_hi ~profile
+    =
+  let regions = place_disjoint rng ~width ~height ~n_faults ~max_extent in
+  let faults =
+    Array.map
+      (fun r -> (r, Rng.uniform rng ~lo:p_lo ~hi:p_hi))
+      regions
+  in
+  Space.create ~profile ~faults
+
+let overlapping_space rng ~width ~height ~n_faults ~max_extent ~p_lo ~p_hi
+    ~profile =
+  (* Regions placed independently: overlaps arise naturally (Section 6.2
+     setting). *)
+  let faults =
+    Array.init n_faults (fun _ ->
+        ( random_region rng ~width ~height ~max_extent,
+          Rng.uniform rng ~lo:p_lo ~hi:p_hi ))
+  in
+  Space.create ~profile ~faults
+
+let fig2 rng ~width ~height =
+  (* The paper's illustrative figure: five failure regions of assorted
+     shapes in a two-dimensional demand space (var1, var2). *)
+  if width < 16 || height < 16 then invalid_arg "Genspace.fig2: grid too small";
+  let space_size = width * height in
+  let r1 =
+    Region.box ~width ~height ~x_lo:(width / 8) ~x_hi:(width / 4)
+      ~y_lo:(height / 8) ~y_hi:(height / 5)
+  in
+  let r2 =
+    Region.box ~width ~height ~x_lo:(width / 2) ~x_hi:(width / 2 + 2)
+      ~y_lo:(height / 2) ~y_hi:(height - (height / 4))
+  in
+  let r3 =
+    Region.line ~width ~height ~x0:(3 * width / 4) ~y0:(height / 8) ~dx:1 ~dy:1
+      ~steps:(min (width / 5) (height / 5))
+  in
+  let r4 = Region.scatter rng ~space_size ~count:7 in
+  let r5 =
+    Region.box ~width ~height ~x_lo:(width / 16) ~x_hi:(width / 16 + 1)
+      ~y_lo:(2 * height / 3) ~y_hi:(2 * height / 3 + 1)
+  in
+  let regions = [| r1; r2; r3; r4; r5 |] in
+  let ps = [| 0.15; 0.08; 0.1; 0.05; 0.2 |] in
+  let profile = Profile.uniform ~size:space_size in
+  Space.create ~profile ~faults:(Array.map2 (fun r p -> (r, p)) regions ps)
+
+let render ~width ~height space =
+  let rows = ref [] in
+  for y = height - 1 downto 0 do
+    let buf = Buffer.create width in
+    for x = 0 to width - 1 do
+      let id = (y * width) + x in
+      let label = ref '.' in
+      for i = 0 to Space.fault_count space - 1 do
+        if Bitset.mem (Region.members (Space.region space i)) id then
+          label :=
+            (if !label = '.' then Char.chr (Char.code '1' + (i mod 9))
+             else '#' (* overlap marker *))
+      done;
+      Buffer.add_char buf !label
+    done;
+    rows := Buffer.contents buf :: !rows
+  done;
+  List.rev !rows

@@ -1,0 +1,38 @@
+(** The operational profile: "each demand in the demand space has a certain
+    (possibly unknown) probability of happening during the operation of the
+    controlled system" (Section 2.1).
+
+    A profile is a categorical distribution over a finite demand space with
+    O(1) sampling; the measure of a failure region under the profile is the
+    region's q parameter. *)
+
+type t
+
+val of_weights : float array -> t
+(** Normalises the non-negative weight vector. *)
+
+val uniform : size:int -> t
+
+val zipf : size:int -> exponent:float -> t
+(** Heavy-headed profile: demand i+1 has weight 1/(i+1)^exponent — a few
+    demand types dominate operation, the common situation in plant
+    protection. *)
+
+val random : Numerics.Rng.t -> size:int -> alpha:float -> t
+(** Dirichlet(alpha)-distributed random profile. *)
+
+val peaked : size:int -> peak:int -> mass:float -> t
+(** One demand carries [mass]; the rest share the remainder uniformly. *)
+
+val size : t -> int
+
+val probability : t -> Demand.t -> float
+(** Probability that the next demand is this one. *)
+
+val sample : t -> Numerics.Rng.t -> Demand.t
+
+val measure : t -> Numerics.Bitset.t -> float
+(** Probability that a random demand lands in the given set — the q of a
+    failure region (compensated sum). *)
+
+val probabilities : t -> float array

@@ -1,0 +1,42 @@
+(** A complete demand-space model: profile + potential faults, each a
+    failure region with an introduction probability.
+
+    This realises the paper's full setting concretely: where the abstract
+    model only keeps the pair (p_i, q_i), the space keeps the actual region,
+    so that demands can be executed and the non-overlap assumption can be
+    checked rather than assumed. *)
+
+type t
+
+val create : profile:Profile.t -> faults:(Region.t * float) array -> t
+(** [faults] pairs each potential fault's failure region with its
+    introduction probability p. Raises [Invalid_argument] if a region lives
+    on a different space or a probability is out of range. *)
+
+val size : t -> int
+(** Number of possible demands. *)
+
+val profile : t -> Profile.t
+val fault_count : t -> int
+val region : t -> int -> Region.t
+val introduction_prob : t -> int -> float
+
+val regions_disjoint : t -> bool
+(** Does the model satisfy the paper's non-overlap assumption? *)
+
+val region_measures : t -> float array
+(** The q_i vector: each region's measure under the profile. *)
+
+val to_universe : t -> Core.Universe.t
+(** Abstract the space into the paper's parameter-only model. Exact (not
+    sampled); when the regions overlap the universe is the paper's
+    pessimistic approximation of Section 6.2. *)
+
+val overlap_pairs : t -> (int * int) list
+(** All pairs of region indices that violate non-overlap. *)
+
+val failure_set : t -> int list -> Numerics.Bitset.t
+(** Union of the regions of the listed faults: the failure set of a version
+    containing exactly those faults. *)
+
+val pp : Format.formatter -> t -> unit

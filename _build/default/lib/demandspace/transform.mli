@@ -1,0 +1,42 @@
+(** Bijective transformations of the demand space — the sensing layer of
+    functional diversity.
+
+    Fig. 1's caption notes that real dual channels "usually sense different
+    state variables": the same plant demand reaches the two channels as
+    different inputs. We model each channel's sensing as a bijection of
+    the finite demand space; a channel whose version has failure set F
+    fails on plant demand x iff its *input* T(x) lies in F, i.e. its
+    plant-space failure set is the preimage of F. Interpolating the
+    bijection from the identity to a random permutation realises the
+    "continuum of diversity arrangements" of the paper's ref [8]. *)
+
+type t
+(** A bijection of demand ids with a precomputed inverse. *)
+
+val of_array : int array -> t
+(** Raises [Invalid_argument] unless the array is a permutation of
+    0..n-1. *)
+
+val identity : int -> t
+
+val random : Numerics.Rng.t -> int -> t
+(** Uniform random permutation. *)
+
+val partial : Numerics.Rng.t -> int -> fraction:float -> t
+(** Permute a random subset of roughly the given fraction of ids among
+    themselves, fixing the rest: fraction 0 is the identity (the paper's
+    non-functional worst case), fraction 1 a full shuffle. *)
+
+val size : t -> int
+val apply : t -> int -> int
+val apply_inverse : t -> int -> int
+
+val displaced : t -> int
+(** Number of ids the bijection moves. *)
+
+val preimage : t -> Numerics.Bitset.t -> Numerics.Bitset.t
+(** [preimage t s] is [{x | apply t x ∈ s}] — the plant-space failure set
+    of a channel whose input-space failure set is [s]. *)
+
+val compose : t -> t -> t
+(** [compose a b] maps x to a(b(x)). *)

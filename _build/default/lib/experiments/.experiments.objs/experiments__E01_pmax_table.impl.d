@@ -1,0 +1,1 @@
+lib/experiments/e01_pmax_table.ml: Array Core Experiment List Numerics Report

@@ -1,0 +1,1 @@
+lib/experiments/e02_worked_example.ml: Core Experiment Numerics Report

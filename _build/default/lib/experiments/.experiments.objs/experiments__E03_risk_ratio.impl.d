@@ -1,0 +1,1 @@
+lib/experiments/e03_risk_ratio.ml: Core Experiment List Numerics Report Simulator

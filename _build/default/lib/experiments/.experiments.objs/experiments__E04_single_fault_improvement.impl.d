@@ -1,0 +1,1 @@
+lib/experiments/e04_single_fault_improvement.ml: Array Core Experiment List Numerics Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/e05_proportional_improvement.ml: Array Core Experiment List Numerics Report

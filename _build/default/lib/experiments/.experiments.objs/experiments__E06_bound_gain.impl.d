@@ -1,0 +1,1 @@
+lib/experiments/e06_bound_gain.ml: Array Core Experiment List Numerics Printf Report

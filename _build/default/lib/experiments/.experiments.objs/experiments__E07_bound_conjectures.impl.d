@@ -1,0 +1,1 @@
+lib/experiments/e07_bound_conjectures.ml: Array Core Experiment List Numerics Printf Report

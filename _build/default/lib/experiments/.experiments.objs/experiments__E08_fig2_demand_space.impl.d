@@ -1,0 +1,1 @@
+lib/experiments/e08_fig2_demand_space.ml: Array Demandspace Experiment List Numerics Printf Report Simulator String

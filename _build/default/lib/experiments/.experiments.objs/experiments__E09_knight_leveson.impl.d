@@ -1,0 +1,1 @@
+lib/experiments/e09_knight_leveson.ml: Demandspace Experiment Numerics Report Simulator

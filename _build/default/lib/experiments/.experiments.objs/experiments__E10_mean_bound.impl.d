@@ -1,0 +1,1 @@
+lib/experiments/e10_mean_bound.ml: Core Experiment List Numerics Report

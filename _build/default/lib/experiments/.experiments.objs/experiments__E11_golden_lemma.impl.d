@@ -1,0 +1,1 @@
+lib/experiments/e11_golden_lemma.ml: Core Experiment List Numerics Printf Report

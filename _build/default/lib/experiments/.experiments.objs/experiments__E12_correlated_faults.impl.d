@@ -1,0 +1,1 @@
+lib/experiments/e12_correlated_faults.ml: Core Experiment Extensions List Numerics Printf Report

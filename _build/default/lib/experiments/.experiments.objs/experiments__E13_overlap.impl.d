@@ -1,0 +1,1 @@
+lib/experiments/e13_overlap.ml: Core Demandspace Experiment Extensions List Numerics Printf Report

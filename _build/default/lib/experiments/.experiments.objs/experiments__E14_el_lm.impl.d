@@ -1,0 +1,1 @@
+lib/experiments/e14_el_lm.ml: Array Baselines Demandspace Experiment List Numerics Report

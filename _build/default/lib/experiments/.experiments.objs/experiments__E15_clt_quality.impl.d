@@ -1,0 +1,1 @@
+lib/experiments/e15_clt_quality.ml: Core Experiment List Numerics Report

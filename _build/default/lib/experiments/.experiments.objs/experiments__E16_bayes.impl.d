@@ -1,0 +1,1 @@
+lib/experiments/e16_bayes.ml: Array Core Experiment Extensions Numerics Printf Report

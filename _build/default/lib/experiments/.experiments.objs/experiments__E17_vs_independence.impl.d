@@ -1,0 +1,1 @@
+lib/experiments/e17_vs_independence.ml: Baselines Core Experiment List Numerics Report

@@ -1,0 +1,1 @@
+lib/experiments/e18_hatton.ml: Array Baselines Core Experiment Numerics Report

@@ -1,0 +1,1 @@
+lib/experiments/e19_success_ratio.ml: Array Core Experiment List Numerics Report

@@ -1,0 +1,1 @@
+lib/experiments/e20_one_out_of_n.ml: Array Core Experiment List Numerics Report

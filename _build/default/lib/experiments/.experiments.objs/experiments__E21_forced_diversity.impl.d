@@ -1,0 +1,1 @@
+lib/experiments/e21_forced_diversity.ml: Core Experiment Extensions List Numerics Report

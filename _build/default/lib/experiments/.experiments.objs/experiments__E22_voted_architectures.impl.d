@@ -1,0 +1,1 @@
+lib/experiments/e22_voted_architectures.ml: Core Demandspace Experiment Fmt List Numerics Report Simulator

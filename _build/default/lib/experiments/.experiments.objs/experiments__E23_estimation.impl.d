@@ -1,0 +1,1 @@
+lib/experiments/e23_estimation.ml: Array Core Experiment List Numerics Printf Report Simulator

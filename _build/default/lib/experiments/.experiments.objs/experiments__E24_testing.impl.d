@@ -1,0 +1,1 @@
+lib/experiments/e24_testing.ml: Array Core Experiment Extensions List Numerics Report

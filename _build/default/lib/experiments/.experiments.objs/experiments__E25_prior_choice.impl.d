@@ -1,0 +1,1 @@
+lib/experiments/e25_prior_choice.ml: Core Experiment Extensions Fmt List Numerics Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/e26_fleet.ml: Core Demandspace Experiment Numerics Printf Report Simulator

@@ -1,0 +1,1 @@
+lib/experiments/e27_mission.ml: Demandspace Experiment List Numerics Report Simulator

@@ -1,0 +1,1 @@
+lib/experiments/e28_profile_robustness.ml: Core Demandspace Experiment List Numerics Report

@@ -1,0 +1,1 @@
+lib/experiments/e29_functional_diversity.ml: Array Demandspace Experiment Extensions Numerics Printf Report

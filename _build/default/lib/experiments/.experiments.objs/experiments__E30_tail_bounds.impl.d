@@ -1,0 +1,1 @@
+lib/experiments/e30_tail_bounds.ml: Core Experiment List Numerics Printf Report

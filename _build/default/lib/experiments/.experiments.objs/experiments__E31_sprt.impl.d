@@ -1,0 +1,1 @@
+lib/experiments/e31_sprt.ml: Demandspace Experiment Numerics Printf Report Simulator

@@ -1,0 +1,65 @@
+(* E04 — Appendix A: improving the process with respect to a single fault
+   class can *reduce* the gain from diversity. For n = 2 the stationary
+   point of the risk ratio in p1 has a closed form; we trace the ratio,
+   verify the derivative's sign pattern, and tabulate the stationary points. *)
+
+let run ~seed:_ =
+  let p2_values = [ 0.1; 0.3; 0.5 ] in
+  let stationary_rows =
+    List.map
+      (fun p2 ->
+        let p1z = Core.Sensitivity.stationary_p1 ~p2 in
+        let d_below = Core.Sensitivity.risk_ratio_partial [| p1z /. 2.0; p2 |] 0 in
+        let d_at = Core.Sensitivity.risk_ratio_partial [| p1z; p2 |] 0 in
+        let d_above =
+          Core.Sensitivity.risk_ratio_partial [| min 0.99 (2.0 *. p1z); p2 |] 0
+        in
+        [
+          Report.Table.float p2;
+          Report.Table.float p1z;
+          Report.Table.float ~precision:2 d_below;
+          Report.Table.float ~precision:2 d_at;
+          Report.Table.float ~precision:2 d_above;
+          Report.Table.bool (d_below < 0.0 && abs_float d_at < 1e-9 && d_above > 0.0);
+        ])
+      p2_values
+  in
+  let stationary =
+    Report.Table.of_rows
+      ~title:"Appendix A (n=2): stationary point p1z of the risk ratio"
+      ~headers:
+        [ "p2"; "p1z"; "dR/dp1 below"; "dR/dp1 at p1z"; "dR/dp1 above"; "sign pattern ok" ]
+      stationary_rows
+  in
+  let curves =
+    List.map
+      (fun p2 ->
+        Report.Asciiplot.series
+          ~label:(Printf.sprintf "p2=%.1f" p2)
+          (Array.map
+             (fun p1 -> (p1, Core.Sensitivity.risk_ratio_two ~p1 ~p2))
+             (Numerics.Grid.linspace ~lo:0.005 ~hi:0.9 ~n:80)))
+      p2_values
+  in
+  let fig =
+    Report.Asciiplot.render
+      ~title:"Risk ratio vs p1 (minimum at p1z: improving p1 below it hurts)"
+      curves
+  in
+  Experiment.output ~tables:[ stationary ] ~figures:[ fig ]
+    ~notes:
+      [
+        "reproduction note: our closed form p1z = p2(sqrt(2/(1+p2))-1)/(1-p2) \
+         satisfies dR/dp1 = 0 to machine precision and lies BELOW p2, \
+         whereas the paper's printed root is claimed to exceed p2 — see \
+         EXPERIMENTS.md; the qualitative claim (both derivative signs occur) \
+         is confirmed";
+      ]
+    ()
+
+let experiment =
+  Experiment.make ~id:"E04" ~paper_ref:"Section 4.2.1, Appendix A"
+    ~description:
+      "Single-fault process improvement is non-monotone in its effect on \
+       the diversity gain; closed-form stationary point for n = 2"
+    run

@@ -1,0 +1,64 @@
+(* E11 — the Section 3.1.2 lemma: p^2(1-p^2) <= p(1-p) iff
+   p <= (sqrt 5 - 1)/2 = 0.618033987, and the induced sigma bound eq. (9). *)
+
+let run ~seed =
+  let rng = Numerics.Rng.create ~seed in
+  let threshold = Core.Bounds.golden_threshold in
+  let lemma_rows =
+    List.map
+      (fun p ->
+        let lhs = p *. p *. (1.0 -. (p *. p)) in
+        let rhs = p *. (1.0 -. p) in
+        [
+          Report.Table.float p;
+          Report.Table.float lhs;
+          Report.Table.float rhs;
+          Report.Table.bool (Core.Bounds.variance_term_shrinks p);
+          Report.Table.bool (p <= threshold);
+        ])
+      [ 0.1; 0.3; 0.5; 0.6; 0.618033987; 0.62; 0.7; 0.9 ]
+  in
+  let lemma =
+    Report.Table.of_rows
+      ~title:
+        (Printf.sprintf
+           "Lemma: p^2(1-p^2) <= p(1-p) iff p <= %.9f (golden ratio - 1)"
+           threshold)
+      ~headers:[ "p"; "p^2(1-p^2)"; "p(1-p)"; "shrinks"; "p <= threshold" ]
+      lemma_rows
+  in
+  let sigma_rows =
+    List.map
+      (fun i ->
+        let u =
+          Core.Universe.uniform_random
+            (Numerics.Rng.split rng ~index:i)
+            ~n:15 ~p_lo:0.01 ~p_hi:0.55 ~total_q:0.5
+        in
+        let s1 = Core.Moments.sigma1 u in
+        let s2 = Core.Moments.sigma2 u in
+        let bound = Core.Bounds.sigma2_upper u in
+        [
+          Report.Table.int i;
+          Report.Table.float (Core.Universe.pmax u);
+          Report.Table.float s1;
+          Report.Table.float s2;
+          Report.Table.float bound;
+          Report.Table.bool (s2 <= bound +. 1e-15 && s2 <= s1);
+        ])
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let sigma =
+    Report.Table.of_rows
+      ~title:"Eq. (9): sigma2 < sqrt(pmax(1+pmax)) * sigma1 (all p_i < 0.618)"
+      ~headers:[ "universe"; "pmax"; "sigma1"; "sigma2"; "eq.(9) bound"; "holds" ]
+      sigma_rows
+  in
+  Experiment.output ~tables:[ lemma; sigma ] ()
+
+let experiment =
+  Experiment.make ~id:"E11" ~paper_ref:"Section 3.1.2, eq. (9)"
+    ~description:
+      "The golden-ratio variance lemma and the standard-deviation shrinkage \
+       bound"
+    run

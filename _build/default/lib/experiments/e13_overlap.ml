@@ -1,0 +1,112 @@
+(* E13 — Section 6.2: overlapping failure regions make the additive model
+   pessimistic; and pessimistic priors can accidentally produce optimistic
+   posteriors under Bayesian inference. Both effects demonstrated on
+   concrete demand spaces. *)
+
+let run ~seed =
+  let rng = Numerics.Rng.create ~seed in
+  let profile = Demandspace.Profile.uniform ~size:(40 * 40) in
+  let rows =
+    List.map
+      (fun (n_faults, max_extent) ->
+        let space =
+          Demandspace.Genspace.overlapping_space
+            (Numerics.Rng.split rng ~index:(n_faults + max_extent))
+            ~width:40 ~height:40 ~n_faults ~max_extent ~p_lo:0.05 ~p_hi:0.4
+            ~profile
+        in
+        let a = Extensions.Overlap.analyse space in
+        [
+          Report.Table.int n_faults;
+          Report.Table.int a.Extensions.Overlap.overlap_pairs;
+          Report.Table.float a.exact_mu1;
+          Report.Table.float a.additive_mu1;
+          Report.Table.float a.mu1_pessimism;
+          Report.Table.float a.exact_mu2;
+          Report.Table.float a.additive_mu2;
+          Report.Table.float a.mu2_pessimism;
+        ])
+      [ (8, 6); (16, 8); (32, 10) ]
+  in
+  let table =
+    Report.Table.of_rows
+      ~title:"Overlap pessimism of the additive (non-overlap) model"
+      ~headers:
+        [
+          "faults"; "overlapping pairs"; "mu1 exact"; "mu1 additive";
+          "factor"; "mu2 exact"; "mu2 additive"; "factor";
+        ]
+      rows
+  in
+  (* Bayesian effect: prior from the pessimistic additive model vs ground
+     truth from the exact (overlap-aware) space. *)
+  let space =
+    Demandspace.Genspace.overlapping_space
+      (Numerics.Rng.split rng ~index:99)
+      ~width:40 ~height:40 ~n_faults:10 ~max_extent:8 ~p_lo:0.05 ~p_hi:0.4
+      ~profile
+  in
+  let pessimistic_u = Demandspace.Space.to_universe space in
+  let prior =
+    Extensions.Bayes.of_pfd_dist (Core.Pfd_dist.exact_pair pessimistic_u)
+  in
+  let merged_u = Extensions.Overlap.merged_universe space in
+  let honest_prior =
+    Extensions.Bayes.of_pfd_dist (Core.Pfd_dist.exact_pair merged_u)
+  in
+  let bound = 1e-3 in
+  let bayes_rows =
+    List.map
+      (fun demands ->
+        let pess =
+          Extensions.Bayes.prob_at_most
+            (Extensions.Bayes.observe_failure_free prior ~demands)
+            bound
+        in
+        let honest =
+          Extensions.Bayes.prob_at_most
+            (Extensions.Bayes.observe_failure_free honest_prior ~demands)
+            bound
+        in
+        [
+          Report.Table.int demands;
+          Report.Table.float pess;
+          Report.Table.float honest;
+          Report.Table.bool (pess > honest);
+        ])
+      [ 0; 100; 1000; 10_000 ]
+  in
+  let bayes =
+    Report.Table.of_rows
+      ~title:
+        (Printf.sprintf
+           "Posterior P(pair PFD <= %g | t failure-free demands): additive \
+            prior vs merged-region prior"
+           bound)
+      ~headers:
+        [ "failure-free demands"; "additive prior"; "merged prior"; "additive more confident" ]
+      bayes_rows
+  in
+  Experiment.output ~tables:[ table; bayes ]
+    ~notes:
+      [
+        "the additive model is pessimistic for the VERSION PFD (mu1 factor \
+         >= 1) but can be OPTIMISTIC for the PAIR (mu2 factor < 1): \
+         overlapping regions of different faults create coincident failure \
+         points that the sum-of-q model never counts — precisely why the \
+         paper says that under overlap 'we could no longer trust our \
+         estimates of the relative advantage of a two-version system'";
+        "Section 6.2 warns that pessimistic priors 'might accidentally \
+         produce optimistic posteriors': rows where the additive-prior \
+         posterior confidence exceeds the merged-region one exhibit the \
+         mechanism (the additive prior spreads mass to high PFD values \
+         which failure-free operation then kills off too fast)";
+      ]
+    ()
+
+let experiment =
+  Experiment.make ~id:"E13" ~paper_ref:"Section 6.2"
+    ~description:
+      "Overlapping failure regions: pessimism of the additive model and \
+       its knock-on effect on Bayesian assessment"
+    run

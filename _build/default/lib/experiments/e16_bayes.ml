@@ -1,0 +1,82 @@
+(* E16 — the conclusions' proposal (with ref [14]): use the model-derived
+   PFD distribution as a physically motivated prior and update it with
+   operational evidence. *)
+
+let run ~seed =
+  let rng = Numerics.Rng.create ~seed in
+  let u =
+    Core.Universe.uniform_random
+      (Numerics.Rng.split rng ~index:0)
+      ~n:15 ~p_lo:0.01 ~p_hi:0.2 ~total_q:0.05
+  in
+  let prior = Extensions.Bayes.of_pfd_dist (Core.Pfd_dist.exact_pair u) in
+  let bound = 1e-3 in
+  let trajectory =
+    Extensions.Bayes.posterior_trajectory prior ~bound
+      ~demand_counts:[| 0; 10; 100; 1_000; 10_000; 100_000 |]
+  in
+  let table =
+    Report.Table.of_rows
+      ~title:
+        (Printf.sprintf
+           "Posterior confidence that pair PFD <= %g after failure-free \
+            operation"
+           bound)
+      ~headers:
+        [ "failure-free demands"; "P(PFD <= bound)"; "posterior mean"; "posterior q99" ]
+      (Array.to_list
+         (Array.map
+            (fun (t, conf) ->
+              let post = Extensions.Bayes.observe_failure_free prior ~demands:t in
+              [
+                Report.Table.int t;
+                Report.Table.float conf;
+                Report.Table.float (Extensions.Bayes.mean post);
+                Report.Table.float (Extensions.Bayes.quantile post 0.99);
+              ])
+            trajectory))
+  in
+  let needed =
+    Extensions.Bayes.demands_for_confidence prior ~bound ~confidence:0.99
+      ~max_demands:10_000_000
+  in
+  let failures_case =
+    let post = Extensions.Bayes.observe prior ~demands:10_000 ~failures:2 in
+    Report.Table.of_rows ~title:"With observed failures (2 in 10000 demands)"
+      ~headers:[ "quantity"; "prior"; "posterior" ]
+      [
+        [
+          "mean PFD";
+          Report.Table.float (Extensions.Bayes.mean prior);
+          Report.Table.float (Extensions.Bayes.mean post);
+        ];
+        [
+          "P(PFD <= 1e-3)";
+          Report.Table.float (Extensions.Bayes.prob_at_most prior bound);
+          Report.Table.float (Extensions.Bayes.prob_at_most post bound);
+        ];
+      ]
+  in
+  Experiment.output
+    ~tables:[ table; failures_case ]
+    ~notes:
+      [
+        (match needed with
+        | Some t ->
+            Printf.sprintf
+              "failure-free demands needed for 99%% confidence in the bound: \
+               %d"
+              t
+        | None ->
+            "99% confidence in the bound is unreachable by failure-free \
+             operation alone under this prior (prior mass exactly at PFD=0 \
+             is the ceiling)");
+      ]
+    ()
+
+let experiment =
+  Experiment.make ~id:"E16" ~paper_ref:"Section 7 conclusions, ref [14]"
+    ~description:
+      "Bayesian reliability assessment with a model-based prior on the \
+       pair's PFD"
+    run

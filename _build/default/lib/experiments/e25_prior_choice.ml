@@ -1,0 +1,101 @@
+(* E25 — the conclusions' closing argument: model-based priors vs priors
+   "chosen for computational convenience only". The same operational
+   evidence is fed to (a) the exact model-derived prior on the pair's PFD,
+   (b) a Beta prior moment-matched to it, and (c) off-the-shelf
+   uninformative Beta priors; the posterior claims diverge. *)
+
+let run ~seed =
+  let rng = Numerics.Rng.create ~seed in
+  let u =
+    Core.Universe.uniform_random
+      (Numerics.Rng.split rng ~index:0)
+      ~n:15 ~p_lo:0.01 ~p_hi:0.2 ~total_q:0.05
+  in
+  let dist = Core.Pfd_dist.exact_pair u in
+  let model_prior = Extensions.Bayes.of_pfd_dist dist in
+  let matched = Extensions.Beta_prior.moment_matched dist in
+  let bound = 1e-3 in
+  let priors =
+    [
+      ("model-based (exact)", `Model);
+      (Fmt.str "%a (moment-matched)" Extensions.Beta_prior.pp matched, `Beta matched);
+      ("Beta(1,1) uniform", `Beta Extensions.Beta_prior.uniform);
+      ("Beta(0.5,0.5) Jeffreys", `Beta Extensions.Beta_prior.jeffreys);
+    ]
+  in
+  let confidence_at prior demands =
+    match prior with
+    | `Model ->
+        Extensions.Bayes.prob_at_most
+          (Extensions.Bayes.observe_failure_free model_prior ~demands)
+          bound
+    | `Beta b ->
+        Extensions.Beta_prior.prob_at_most
+          (Extensions.Beta_prior.observe_failure_free b ~demands)
+          bound
+  in
+  let demand_counts = [ 0; 100; 1_000; 10_000; 100_000 ] in
+  let rows =
+    List.map
+      (fun (label, prior) ->
+        label
+        :: List.map
+             (fun d -> Report.Table.float (confidence_at prior d))
+             demand_counts)
+      priors
+  in
+  let table =
+    Report.Table.of_rows
+      ~title:
+        (Printf.sprintf
+           "Posterior P(pair PFD <= %g) after t failure-free demands, by \
+            prior"
+           bound)
+      ~headers:
+        ("prior" :: List.map (fun d -> Printf.sprintf "t=%d" d) demand_counts)
+      rows
+  in
+  let effort_rows =
+    List.filter_map
+      (fun (label, prior) ->
+        let needed =
+          match prior with
+          | `Model ->
+              Extensions.Bayes.demands_for_confidence model_prior ~bound
+                ~confidence:0.99 ~max_demands:20_000_000
+          | `Beta b ->
+              Extensions.Beta_prior.demands_for_confidence b ~bound
+                ~confidence:0.99 ~max_demands:20_000_000
+        in
+        Some
+          [
+            label;
+            (match needed with
+            | Some t -> Report.Table.int t
+            | None -> ">2e7 (unreachable)");
+          ])
+      priors
+  in
+  let effort =
+    Report.Table.of_rows
+      ~title:"Failure-free demands needed for 99% confidence in the bound"
+      ~headers:[ "prior"; "demands needed" ]
+      effort_rows
+  in
+  Experiment.output ~tables:[ table; effort ]
+    ~notes:
+      [
+        "the model prior carries an atom at PFD = 0 (the pair may share no \
+         fault at all) that no Beta prior can represent; after long \
+         failure-free operation the model posterior concentrates there \
+         while the conjugate priors keep paying for their smooth tail — \
+         the quantitative content of the paper's closing recommendation";
+      ]
+    ()
+
+let experiment =
+  Experiment.make ~id:"E25" ~paper_ref:"Section 7 conclusions"
+    ~description:
+      "Model-based priors vs computational-convenience Beta priors on the \
+       same operational evidence"
+    run

@@ -1,0 +1,92 @@
+(* E26 — making the paper's distributional results observable: the PFD
+   varies across developed systems (sigma1, sigma2 of eqs. 2), so failure
+   counts across a fleet of plants are over-dispersed relative to a
+   common-PFD binomial, and the method of moments recovers E(Theta) and
+   Var(Theta) from field counts alone. *)
+
+let run ~seed =
+  let rng = Numerics.Rng.create ~seed in
+  let space =
+    Demandspace.Genspace.disjoint_space
+      (Numerics.Rng.split rng ~index:0)
+      ~width:40 ~height:40 ~n_faults:12 ~max_extent:5 ~p_lo:0.1 ~p_hi:0.4
+      ~profile:(Demandspace.Profile.uniform ~size:(40 * 40))
+  in
+  let u = Demandspace.Space.to_universe space in
+  let plants = 400 and demands_per_plant = 20_000 in
+  let observe_fleet deploy index =
+    let r = Numerics.Rng.split rng ~index in
+    Simulator.Fleet.observe r (deploy r space ~plants) ~demands_per_plant
+  in
+  let singles = observe_fleet Simulator.Fleet.deploy_singles 1 in
+  let pairs = observe_fleet Simulator.Fleet.deploy_pairs 2 in
+  let row label fleet (model_mu, model_sigma) =
+    let _mu_hat, var_hat = Simulator.Fleet.estimate_pfd_moments fleet in
+    let d = Simulator.Fleet.dispersion fleet in
+    [
+      label;
+      Report.Table.float (Simulator.Fleet.pooled_rate fleet);
+      Report.Table.float model_mu;
+      Report.Table.float (sqrt var_hat);
+      Report.Table.float model_sigma;
+      Report.Table.float ~precision:3 d.Simulator.Fleet.overdispersion;
+    ]
+  in
+  let table =
+    Report.Table.of_rows
+      ~title:
+        (Printf.sprintf
+           "Fleet of %d plants, %d demands each: recovering the model's \
+            moments from counts"
+           plants demands_per_plant)
+      ~headers:
+        [
+          "fleet"; "pooled rate"; "model mu"; "MoM sigma est."; "model sigma";
+          "overdispersion";
+        ]
+      [
+        row "single-version plants" singles
+          (Core.Moments.mu1 u, Core.Moments.sigma1 u);
+        row "1oo2 plants" pairs (Core.Moments.mu2 u, Core.Moments.sigma2 u);
+      ]
+  in
+  let oracle =
+    let s1 = Simulator.Fleet.true_pfd_summary singles in
+    let s2 = Simulator.Fleet.true_pfd_summary pairs in
+    Report.Table.of_rows
+      ~title:"Oracle check: true per-plant PFDs behind the counts"
+      ~headers:[ "fleet"; "true mean PFD"; "true std PFD" ]
+      [
+        [
+          "single-version plants";
+          Report.Table.float s1.Numerics.Stats.mean;
+          Report.Table.float s1.Numerics.Stats.std;
+        ];
+        [
+          "1oo2 plants";
+          Report.Table.float s2.Numerics.Stats.mean;
+          Report.Table.float s2.Numerics.Stats.std;
+        ];
+      ]
+  in
+  Experiment.output ~tables:[ table; oracle ]
+    ~notes:
+      [
+        "overdispersion >> 1 in both fleets is the observable footprint of \
+         sigma > 0 (the PFD differs across developments) — a field-data \
+         route to exactly the quantities the paper reasons about";
+        "the 1oo2 fleet is MORE overdispersed despite its smaller sigma: \
+         overdispersion tracks the RELATIVE spread Var/mu, and diversity \
+         shrinks the mean (factor <= pmax, eq. 4) faster than the standard \
+         deviation (factor sqrt(pmax(1+pmax)), eq. 9), so the coefficient \
+         of variation of the PFD rises — the flip side of the paper's own \
+         bound asymmetry";
+      ]
+    ()
+
+let experiment =
+  Experiment.make ~id:"E26" ~paper_ref:"Section 3 (variance made observable)"
+    ~description:
+      "Fleet over-dispersion reveals the PFD distribution across \
+       developments; method of moments recovers mu and sigma from counts"
+    run

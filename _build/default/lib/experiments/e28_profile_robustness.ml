@@ -1,0 +1,84 @@
+(* E28 — profile uncertainty: the q_i are measures under an assumed
+   operational profile ("possibly unknown", Section 2.1). How much can the
+   paper's headline quantities move if the true profile differs from the
+   assumed one by epsilon in total variation? *)
+
+let run ~seed =
+  let rng = Numerics.Rng.create ~seed in
+  let size = 32 * 32 in
+  let assumed = Demandspace.Profile.uniform ~size in
+  let space =
+    Demandspace.Genspace.disjoint_space
+      (Numerics.Rng.split rng ~index:0)
+      ~width:32 ~height:32 ~n_faults:10 ~max_extent:5 ~p_lo:0.05 ~p_hi:0.4
+      ~profile:assumed
+  in
+  let u = Demandspace.Space.to_universe space in
+  let base_mu2 = Core.Moments.mu2 u in
+  let rows =
+    List.map
+      (fun epsilon ->
+        let robust = Demandspace.Robustness.robust_universe space ~epsilon in
+        let sharp = Demandspace.Robustness.worst_case_mu2 space ~epsilon in
+        [
+          Report.Table.float epsilon;
+          Report.Table.float base_mu2;
+          Report.Table.float sharp;
+          Report.Table.float (Core.Moments.mu2 robust);
+          Report.Table.float (sharp /. base_mu2);
+        ])
+      [ 0.0; 0.005; 0.01; 0.05; 0.1 ]
+  in
+  let table =
+    Report.Table.of_rows
+      ~title:"Worst-case pair mean PFD under profile perturbation (TV ball)"
+      ~headers:
+        [
+          "epsilon (TV)"; "assumed mu2"; "sharp worst case";
+          "per-region bound"; "inflation";
+        ]
+      rows
+  in
+  (* Concrete alternative profiles rather than a distance budget. *)
+  let alternatives =
+    [
+      ("uniform (assumed)", assumed);
+      ("zipf 0.5", Demandspace.Profile.zipf ~size ~exponent:0.5);
+      ("zipf 1.0", Demandspace.Profile.zipf ~size ~exponent:1.0);
+      ( "random dirichlet",
+        Demandspace.Profile.random (Numerics.Rng.split rng ~index:9) ~size
+          ~alpha:1.0 );
+    ]
+  in
+  let sens = Demandspace.Robustness.profile_sensitivity space ~alternatives in
+  let alt_table =
+    Report.Table.of_rows ~title:"Exact moments under candidate profiles"
+      ~headers:[ "profile"; "TV from assumed"; "mu1"; "mu2" ]
+      (List.map
+         (fun (label, mu1, mu2) ->
+           let profile = List.assoc label alternatives in
+           [
+             label;
+             Report.Table.float
+               (Demandspace.Robustness.total_variation assumed profile);
+             Report.Table.float mu1;
+             Report.Table.float mu2;
+           ])
+         sens)
+  in
+  Experiment.output ~tables:[ table; alt_table ]
+    ~notes:
+      [
+        "the sharp bound allocates the movable profile mass to the regions \
+         with the largest p_i^2, so it grows linearly in epsilon with \
+         slope max p_i^2; the per-region bound (every q at +epsilon) is \
+         looser but needs no knowledge of which regions are worst";
+      ]
+    ()
+
+let experiment =
+  Experiment.make ~id:"E28" ~paper_ref:"Section 2.1 (unknown profile)"
+    ~description:
+      "Carrying operational-profile uncertainty through the model's \
+       predictions"
+    run

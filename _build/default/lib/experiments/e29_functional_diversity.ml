@@ -1,0 +1,91 @@
+(* E29 — functional diversity as a continuum (Fig. 1 caption, ref [8]):
+   channel B senses the plant through a partially permuted input mapping;
+   fraction 0 is the paper's studied worst case, fraction 1 fully
+   divergent sensing. How much does the worst-case analysis give away? *)
+
+let run ~seed =
+  let rng = Numerics.Rng.create ~seed in
+  let space =
+    Demandspace.Genspace.disjoint_space
+      (Numerics.Rng.split rng ~index:0)
+      ~width:32 ~height:32 ~n_faults:12 ~max_extent:5 ~p_lo:0.1 ~p_hi:0.4
+      ~profile:(Demandspace.Profile.uniform ~size:(32 * 32))
+  in
+  let worst = Extensions.Functional.non_functional space in
+  let mu1 = Extensions.Functional.mean_single worst in
+  let continuum =
+    Extensions.Functional.continuum
+      (Numerics.Rng.split rng ~index:1)
+      space
+      ~fractions:[| 0.0; 0.1; 0.25; 0.5; 0.75; 1.0 |]
+  in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun (fraction, mu2) ->
+           [
+             Report.Table.float fraction;
+             Report.Table.float mu2;
+             Report.Table.float (mu2 /. (mu1 *. mu1));
+           ])
+         continuum)
+  in
+  let table =
+    Report.Table.of_rows
+      ~title:
+        (Printf.sprintf
+           "Mean pair PFD along the functional-diversity continuum (mu1 = \
+            %.4g, independence would give %.4g)"
+           mu1 (mu1 *. mu1))
+      ~headers:[ "permuted fraction"; "E(pair PFD)"; "vs independence" ]
+      rows
+  in
+  (* Monte Carlo cross-check of the analytic mean at full divergence. *)
+  let full =
+    Extensions.Functional.create space
+      ~sensing_b:
+        (Demandspace.Transform.random
+           (Numerics.Rng.split rng ~index:2)
+           (Demandspace.Space.size space))
+  in
+  let mc =
+    let acc = Numerics.Welford.create () in
+    let r = Numerics.Rng.split rng ~index:3 in
+    for _ = 1 to 20_000 do
+      Numerics.Welford.add acc (Extensions.Functional.sample_pair_pfd r full)
+    done;
+    Numerics.Welford.mean acc
+  in
+  let check =
+    Report.Table.of_rows ~title:"Fully divergent sensing: analytic vs simulated"
+      ~headers:[ "quantity"; "value" ]
+      [
+        [
+          "E(pair PFD), analytic";
+          Report.Table.float (Extensions.Functional.mean_pair full);
+        ];
+        [ "E(pair PFD), 20k developed pairs"; Report.Table.float mc ];
+        [
+          "gain over the paper's worst case";
+          Report.Table.float (Extensions.Functional.functional_gain full);
+        ];
+      ]
+  in
+  Experiment.output ~tables:[ table; check ]
+    ~notes:
+      [
+        "with identity sensing the pair fails together wherever one \
+         difficulty spike sits (the paper's E[theta^2]); divergent sensing \
+         decorrelates the spikes so the pair mean approaches the \
+         independence level E[theta]^2 — quantifying how conservative the \
+         paper's 'limiting worst case' is for real functionally diverse \
+         channels";
+      ]
+    ()
+
+let experiment =
+  Experiment.make ~id:"E29" ~paper_ref:"Fig. 1 caption, ref [8]"
+    ~description:
+      "Functional diversity continuum: from the paper's worst case to \
+       fully divergent sensing"
+    run

@@ -1,0 +1,12 @@
+(** All reproduced paper artefacts, keyed by the DESIGN.md experiment ids. *)
+
+val all : Experiment.t list
+(** Every experiment, in id order. *)
+
+val find : string -> Experiment.t option
+(** Case-insensitive lookup by id (e.g. "E04"). *)
+
+val ids : unit -> string list
+
+val run_all : ?seed:int -> unit -> unit
+(** Run and print every experiment (the bench harness's table pass). *)

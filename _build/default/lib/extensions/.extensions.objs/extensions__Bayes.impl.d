@@ -1,0 +1,1 @@
+lib/extensions/bayes.ml: Array Core Numerics Special

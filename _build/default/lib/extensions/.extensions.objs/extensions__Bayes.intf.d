@@ -1,0 +1,1 @@
+lib/extensions/bayes.mli: Core

@@ -1,0 +1,1 @@
+lib/extensions/beta_prior.ml: Betainc Core Fmt Numerics

@@ -1,0 +1,1 @@
+lib/extensions/correlated.ml: Array Core Float Kahan List Numerics Rng Special

@@ -1,0 +1,1 @@
+lib/extensions/correlated.mli: Core Numerics

@@ -1,0 +1,1 @@
+lib/extensions/forced.ml: Array Core Float Kahan Numerics Rng Special

@@ -1,0 +1,1 @@
+lib/extensions/forced.mli: Core Numerics

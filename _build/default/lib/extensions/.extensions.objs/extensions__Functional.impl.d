@@ -1,0 +1,1 @@
+lib/extensions/functional.ml: Array Baselines Bitset Demandspace Kahan Numerics Rng

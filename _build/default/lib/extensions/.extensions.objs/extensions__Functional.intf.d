@@ -1,0 +1,1 @@
+lib/extensions/functional.mli: Demandspace Numerics

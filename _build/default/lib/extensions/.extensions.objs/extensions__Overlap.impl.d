@@ -1,0 +1,1 @@
+lib/extensions/overlap.ml: Array Baselines Core Demandspace Hashtbl Kahan List Numerics Rng Special Welford

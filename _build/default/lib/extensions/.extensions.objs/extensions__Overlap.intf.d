@@ -1,0 +1,1 @@
+lib/extensions/overlap.mli: Core Demandspace Numerics

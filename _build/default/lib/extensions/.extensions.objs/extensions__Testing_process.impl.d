@@ -1,0 +1,1 @@
+lib/extensions/testing_process.ml: Array Core Numerics Special

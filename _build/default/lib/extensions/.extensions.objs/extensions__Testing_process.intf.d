@@ -1,0 +1,1 @@
+lib/extensions/testing_process.mli: Core

@@ -1,0 +1,40 @@
+(** Overlapping failure regions (the paper's Section 6.2 assumption
+    violation).
+
+    When regions overlap, "if two or more faults are present, their
+    contribution to the PFD is not necessarily equal to the sum of their
+    individual contributions, but may be less": the additive model is a
+    pessimistic approximation. This module quantifies that pessimism on
+    concrete demand spaces, where the exact quantities are computable. *)
+
+type analysis = {
+  overlap_pairs : int;  (** number of overlapping region pairs *)
+  exact_mu1 : float;  (** true E(Theta_1) (difficulty-function computation) *)
+  exact_mu2 : float;
+  additive_mu1 : float;  (** the paper's sum-of-q model on the same faults *)
+  additive_mu2 : float;
+  mu1_pessimism : float;  (** additive/exact; >= 1 — overlap only removes
+                              version-PFD mass *)
+  mu2_pessimism : float;
+      (** additive/exact for the pair; can fall BELOW 1: overlapping regions
+          of *different* faults create coincident failure points the
+          additive model does not count, so the non-overlap assumption can
+          be optimistic about the pair — the concrete content of the
+          paper's warning that under overlap "we could no longer trust our
+          estimates of the relative advantage of a two-version system" *)
+}
+
+val analyse : Demandspace.Space.t -> analysis
+(** Exact pessimism analysis of a (possibly overlapping) space. *)
+
+val merged_universe : Demandspace.Space.t -> Core.Universe.t
+(** Restore the non-overlap assumption by merging overlapping regions into
+    union-faults (the paper's treatment of perfectly coupled mistakes):
+    each connected overlap group becomes one fault with the union region's
+    measure and introduction probability 1 - prod(1 - p_i). *)
+
+val monte_carlo_pessimism :
+  Numerics.Rng.t -> Demandspace.Space.t -> replications:int -> float
+(** Mean over sampled faulty versions of additive PFD / true PFD (>= 1);
+    how much the non-overlap assumption overstates version unreliability at
+    the distribution level. *)

@@ -1,0 +1,36 @@
+(** Testing as a fault-removal process acting on the model's parameters.
+
+    Section 4.2.3 cites Djambazov & Popov [13] ("The effects of testing on
+    the reliability of single version and 1-out-of-2 software") for the
+    observation that fault removal can change — even reduce — the gain
+    from fault tolerance. Operational testing is a *non-uniform* process
+    improvement: a test demand reveals fault i with probability q_i, so
+    large-region faults are scrubbed first, pushing the process along
+    exactly the kind of per-fault trajectory Appendix A studies. *)
+
+val operational_testing : Core.Universe.t -> demands:int -> Core.Universe.t
+(** Universe after a test campaign of the given length on each delivered
+    version: p_i -> p_i (1 - q_i)^demands. *)
+
+val directed_testing :
+  Core.Universe.t -> detection:float array -> cycles:int -> Core.Universe.t
+(** Universe after V&V cycles with per-fault detection probabilities
+    independent of region size. *)
+
+type trajectory_point = {
+  demands : int;
+  mu1 : float;
+  mu2 : float;
+  mean_gain : float;
+  risk_ratio : float;
+  bound_ratio : float;
+}
+
+val trajectory :
+  Core.Universe.t -> k:float -> demand_counts:int array -> trajectory_point array
+(** The paper's gain measures as the test campaign lengthens. *)
+
+val single_vs_pair_testing :
+  Core.Universe.t -> total_demands:int -> float * float
+(** The budget split of [13]: (mean PFD of one version tested with the
+    full budget, mean PFD of a 1oo2 pair whose versions each got half). *)

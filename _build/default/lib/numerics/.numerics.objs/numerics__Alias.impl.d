@@ -1,0 +1,1 @@
+lib/numerics/alias.ml: Array Float Kahan Queue Rng

@@ -1,0 +1,1 @@
+lib/numerics/betainc.ml: Float Kahan Rootfind Special

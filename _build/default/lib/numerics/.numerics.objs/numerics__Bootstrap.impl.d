@@ -1,0 +1,1 @@
+lib/numerics/bootstrap.ml: Array Rng Stats

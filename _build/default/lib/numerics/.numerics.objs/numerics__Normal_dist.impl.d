@@ -1,0 +1,1 @@
+lib/numerics/normal_dist.ml: Array Float Rng Special

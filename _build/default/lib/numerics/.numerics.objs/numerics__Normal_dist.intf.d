@@ -1,0 +1,1 @@
+lib/numerics/normal_dist.mli: Rng

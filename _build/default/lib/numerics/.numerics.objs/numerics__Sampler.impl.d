@@ -1,0 +1,1 @@
+lib/numerics/sampler.ml: Array Kahan Normal_dist Rng

@@ -1,0 +1,49 @@
+type t = {
+  prob : float array; (* scaled acceptance probability per bucket *)
+  alias : int array; (* fallback outcome per bucket *)
+  weights : float array; (* normalised input weights, kept for queries *)
+}
+
+let create weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Alias.create: empty weight vector";
+  Array.iter
+    (fun w ->
+      if w < 0.0 || Float.is_nan w then
+        invalid_arg "Alias.create: weights must be non-negative")
+    weights;
+  let total = Kahan.sum_array weights in
+  if total <= 0.0 then invalid_arg "Alias.create: weights sum to zero";
+  let norm = Array.map (fun w -> w /. total) weights in
+  (* Vose's algorithm. *)
+  let scaled = Array.map (fun w -> w *. float_of_int n) norm in
+  let prob = Array.make n 0.0 in
+  let alias = Array.make n 0 in
+  let small = Queue.create () and large = Queue.create () in
+  Array.iteri
+    (fun i s -> if s < 1.0 then Queue.add i small else Queue.add i large)
+    scaled;
+  while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+    let s = Queue.pop small and l = Queue.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+    if scaled.(l) < 1.0 then Queue.add l small else Queue.add l large
+  done;
+  Queue.iter (fun i -> prob.(i) <- 1.0) small;
+  Queue.iter (fun i -> prob.(i) <- 1.0) large;
+  { prob; alias; weights = norm }
+
+let size t = Array.length t.prob
+
+let sample t rng =
+  let n = Array.length t.prob in
+  let bucket = Rng.int rng n in
+  if Rng.float rng < t.prob.(bucket) then bucket else t.alias.(bucket)
+
+let probability t i =
+  if i < 0 || i >= Array.length t.weights then
+    invalid_arg "Alias.probability: index out of range";
+  t.weights.(i)
+
+let probabilities t = Array.copy t.weights

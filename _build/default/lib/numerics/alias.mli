@@ -1,0 +1,26 @@
+(** O(1) sampling from a fixed categorical distribution (Vose's alias
+    method).
+
+    Operational profiles over demand spaces (Section 2.1 of the paper: "each
+    demand ... has a certain probability of happening") are categorical
+    distributions with up to millions of outcomes; the alias method makes
+    demand generation constant-time per demand. *)
+
+type t
+(** Immutable sampling table. *)
+
+val create : float array -> t
+(** Build a table from non-negative weights (need not be normalised).
+    Raises [Invalid_argument] on empty, negative, NaN, or all-zero input. *)
+
+val size : t -> int
+(** Number of outcomes. *)
+
+val sample : t -> Rng.t -> int
+(** Draw an outcome index with probability proportional to its weight. *)
+
+val probability : t -> int -> float
+(** Normalised probability of outcome [i]. *)
+
+val probabilities : t -> float array
+(** Copy of the full normalised probability vector. *)

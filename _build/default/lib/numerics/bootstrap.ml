@@ -1,0 +1,18 @@
+let resample rng samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Bootstrap.resample: empty sample";
+  Array.init n (fun _ -> samples.(Rng.int rng n))
+
+let percentile_ci ?(replicates = 2000) ?(alpha = 0.05) rng samples statistic =
+  if Array.length samples = 0 then invalid_arg "Bootstrap.percentile_ci: empty sample";
+  if replicates < 10 then invalid_arg "Bootstrap.percentile_ci: too few replicates";
+  if alpha <= 0.0 || alpha >= 1.0 then
+    invalid_arg "Bootstrap.percentile_ci: alpha outside (0, 1)";
+  let stats = Array.init replicates (fun _ -> statistic (resample rng samples)) in
+  Array.sort compare stats;
+  ( Stats.quantile_sorted stats (alpha /. 2.0),
+    Stats.quantile_sorted stats (1.0 -. (alpha /. 2.0)) )
+
+let standard_error ?(replicates = 2000) rng samples statistic =
+  let stats = Array.init replicates (fun _ -> statistic (resample rng samples)) in
+  Stats.std stats

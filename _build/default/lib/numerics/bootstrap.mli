@@ -1,0 +1,23 @@
+(** Nonparametric bootstrap.
+
+    The synthetic Knight–Leveson replication (E09) reports sample statistics
+    of only 27 versions / 351 pairs; the bootstrap provides honest interval
+    estimates at those small sample sizes, where normal theory is dubious
+    (as the paper itself notes for the K–L data). *)
+
+val resample : Rng.t -> float array -> float array
+(** One bootstrap resample (same size, drawn with replacement). *)
+
+val percentile_ci :
+  ?replicates:int ->
+  ?alpha:float ->
+  Rng.t ->
+  float array ->
+  (float array -> float) ->
+  float * float
+(** Percentile bootstrap confidence interval for an arbitrary statistic.
+    Defaults: 2000 replicates, 95% coverage. *)
+
+val standard_error :
+  ?replicates:int -> Rng.t -> float array -> (float array -> float) -> float
+(** Bootstrap standard error of a statistic. *)

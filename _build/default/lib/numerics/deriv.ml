@@ -1,0 +1,30 @@
+let default_h = 1e-6
+
+let central ?(h = default_h) f x =
+  let h = h *. max 1.0 (abs_float x) in
+  (f (x +. h) -. f (x -. h)) /. (2.0 *. h)
+
+let richardson ?(h = 1e-3) f x =
+  (* Richardson extrapolation of the central difference: combine step sizes
+     h and h/2 to cancel the O(h^2) term, giving an O(h^4) estimate. *)
+  let h = h *. max 1.0 (abs_float x) in
+  let d1 = (f (x +. h) -. f (x -. h)) /. (2.0 *. h) in
+  let h2 = h /. 2.0 in
+  let d2 = (f (x +. h2) -. f (x -. h2)) /. (2.0 *. h2) in
+  ((4.0 *. d2) -. d1) /. 3.0
+
+let partial ?(h = default_h) f x i =
+  let xi = x.(i) in
+  let step = h *. max 1.0 (abs_float xi) in
+  let eval v =
+    let x' = Array.copy x in
+    x'.(i) <- v;
+    f x'
+  in
+  (eval (xi +. step) -. eval (xi -. step)) /. (2.0 *. step)
+
+let gradient ?h f x = Array.init (Array.length x) (fun i -> partial ?h f x i)
+
+let second ?(h = 1e-4) f x =
+  let h = h *. max 1.0 (abs_float x) in
+  (f (x +. h) -. (2.0 *. f x) +. f (x -. h)) /. (h *. h)

@@ -1,0 +1,22 @@
+(** Numerical differentiation.
+
+    The analytic derivatives of the diversity-gain ratio (Appendices A and B
+    of the paper) are cross-validated against these finite-difference
+    estimates in the test suite; they are also the fallback for models with
+    no closed-form gradient (correlated faults, overlap). *)
+
+val central : ?h:float -> (float -> float) -> float -> float
+(** Central difference, relative step [h] (default 1e-6). *)
+
+val richardson : ?h:float -> (float -> float) -> float -> float
+(** Richardson-extrapolated central difference, O(h^4) accurate. *)
+
+val partial : ?h:float -> (float array -> float) -> float array -> int -> float
+(** Partial derivative of a multivariate function in coordinate [i]. Does
+    not mutate the input point. *)
+
+val gradient : ?h:float -> (float array -> float) -> float array -> float array
+(** All partial derivatives. *)
+
+val second : ?h:float -> (float -> float) -> float -> float
+(** Second derivative by the three-point stencil. *)

@@ -1,0 +1,59 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+  mutable underflow : int;
+  mutable overflow : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  { lo; hi; counts = Array.make bins 0; total = 0; underflow = 0; overflow = 0 }
+
+let bins t = Array.length t.counts
+
+let bin_index t x =
+  let b = Array.length t.counts in
+  let f = (x -. t.lo) /. (t.hi -. t.lo) *. float_of_int b in
+  int_of_float (floor f)
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then
+    if x = t.hi then t.counts.(bins t - 1) <- t.counts.(bins t - 1) + 1
+    else t.overflow <- t.overflow + 1
+  else
+    let i = bin_index t x in
+    let i = if i >= bins t then bins t - 1 else if i < 0 then 0 else i in
+    t.counts.(i) <- t.counts.(i) + 1
+
+let count t i = t.counts.(i)
+let total t = t.total
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_edges t =
+  let b = bins t in
+  Array.init (b + 1) (fun i ->
+      t.lo +. ((t.hi -. t.lo) *. float_of_int i /. float_of_int b))
+
+let bin_centers t =
+  let edges = bin_edges t in
+  Array.init (bins t) (fun i -> 0.5 *. (edges.(i) +. edges.(i + 1)))
+
+let densities t =
+  let b = bins t in
+  let width = (t.hi -. t.lo) /. float_of_int b in
+  let n = float_of_int (max 1 t.total) in
+  Array.map (fun c -> float_of_int c /. (n *. width)) t.counts
+
+let of_samples ~bins samples =
+  let lo = Array.fold_left min infinity samples in
+  let hi = Array.fold_left max neg_infinity samples in
+  let hi = if hi > lo then hi else lo +. 1.0 in
+  let t = create ~lo ~hi ~bins in
+  Array.iter (add t) samples;
+  t

@@ -1,0 +1,28 @@
+(** Fixed-range histograms for empirical PFD distributions. *)
+
+type t
+(** Mutable histogram with equal-width bins over [lo, hi]; values exactly at
+    [hi] land in the last bin. *)
+
+val create : lo:float -> hi:float -> bins:int -> t
+val add : t -> float -> unit
+val bins : t -> int
+val count : t -> int -> int
+val total : t -> int
+
+val underflow : t -> int
+(** Observations strictly below [lo]. *)
+
+val overflow : t -> int
+(** Observations strictly above [hi]. *)
+
+val bin_edges : t -> float array
+(** [bins + 1] edges. *)
+
+val bin_centers : t -> float array
+
+val densities : t -> float array
+(** Normalised density per bin (integrates to the in-range fraction). *)
+
+val of_samples : bins:int -> float array -> t
+(** Histogram spanning the sample range. *)

@@ -1,0 +1,49 @@
+type t = { mutable sum : float; mutable compensation : float }
+
+let create () = { sum = 0.0; compensation = 0.0 }
+
+(* Neumaier's improvement of Kahan's algorithm: unlike plain Kahan it also
+   compensates when the addend is larger than the running sum (e.g.
+   [1e16; 1.0; -1e16] sums to exactly 1.0). Non-finite intermediate sums
+   drop the compensation so infinities propagate cleanly instead of
+   producing inf - inf = NaN. *)
+let add acc x =
+  let t = acc.sum +. x in
+  if Float.is_finite t then begin
+    if abs_float acc.sum >= abs_float x then
+      acc.compensation <- acc.compensation +. ((acc.sum -. t) +. x)
+    else acc.compensation <- acc.compensation +. ((x -. t) +. acc.sum);
+    acc.sum <- t
+  end
+  else begin
+    acc.sum <- t;
+    acc.compensation <- 0.0
+  end
+
+let total acc = acc.sum +. acc.compensation
+
+let reset acc =
+  acc.sum <- 0.0;
+  acc.compensation <- 0.0
+
+let sum_array a =
+  let acc = create () in
+  Array.iter (fun x -> add acc x) a;
+  total acc
+
+let sum_list l =
+  let acc = create () in
+  List.iter (fun x -> add acc x) l;
+  total acc
+
+let sum_over n f =
+  let acc = create () in
+  for i = 0 to n - 1 do
+    add acc (f i)
+  done;
+  total acc
+
+let dot a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Kahan.dot: length mismatch";
+  sum_over (Array.length a) (fun i -> a.(i) *. b.(i))

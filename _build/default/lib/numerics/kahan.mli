@@ -1,0 +1,35 @@
+(** Compensated summation (Kahan–Babuška / Neumaier variant).
+
+    All the probability-mass bookkeeping in this project sums many small
+    floating-point terms of similar magnitude; naive summation loses several
+    digits on universes with thousands of faults. Every sum that feeds a
+    reported statistic goes through this module. The Neumaier variant also
+    compensates when an addend exceeds the running sum, and infinite terms
+    propagate as infinities rather than poisoning the compensation. *)
+
+type t
+(** A mutable compensated accumulator. *)
+
+val create : unit -> t
+(** A fresh accumulator holding 0. *)
+
+val add : t -> float -> unit
+(** [add acc x] accumulates [x] with error compensation. *)
+
+val total : t -> float
+(** Current compensated sum. *)
+
+val reset : t -> unit
+(** Reset the accumulator to 0. *)
+
+val sum_array : float array -> float
+(** Compensated sum of an array. *)
+
+val sum_list : float list -> float
+(** Compensated sum of a list. *)
+
+val sum_over : int -> (int -> float) -> float
+(** [sum_over n f] is the compensated sum of [f 0 .. f (n-1)]. *)
+
+val dot : float array -> float array -> float
+(** Compensated dot product. Raises [Invalid_argument] on length mismatch. *)

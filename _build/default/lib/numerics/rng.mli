@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generation (xoshiro256++ seeded via
+    splitmix64).
+
+    Every stochastic component of the reproduction takes an explicit [Rng.t]
+    so that experiments are replayable from a single integer seed and
+    parallel streams can be derived deterministically with {!split}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** Generator initialised from an integer seed (any value is acceptable,
+    including 0: the seed is whitened through splitmix64). *)
+
+val split : t -> index:int -> t
+(** [split t ~index] derives a statistically independent substream; distinct
+    indices from the same parent state yield distinct streams. Advances the
+    parent. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform draw in [0, 1) with 53 bits of precision. *)
+
+val int : t -> int -> int
+(** [int t bound] is an unbiased uniform draw in [0, bound).
+    Raises [Invalid_argument] if [bound <= 0]. *)
+
+val bool : t -> p:float -> bool
+(** Bernoulli draw; [p] is clamped to [0, 1]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform draw in [lo, hi). *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)

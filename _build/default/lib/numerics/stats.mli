@@ -1,0 +1,55 @@
+(** Descriptive statistics over float arrays.
+
+    Used to summarise Monte-Carlo PFD samples (e.g. the synthetic
+    Knight–Leveson replication in experiment E09, which compares sample means
+    and standard deviations of version and pair PFDs). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;  (** unbiased (Bessel-corrected); 0 when n = 1 *)
+  std : float;
+  min : float;
+  max : float;
+}
+
+val mean : float array -> float
+(** Compensated mean. Raises [Invalid_argument] on empty input. *)
+
+val variance : ?bessel:bool -> float array -> float
+(** Two-pass compensated variance; [bessel] (default true) selects the
+    unbiased estimator. Requires at least two observations. *)
+
+val std : ?bessel:bool -> float array -> float
+(** Standard deviation. *)
+
+val summarize : float array -> summary
+(** Full summary in one pass over the data. *)
+
+val covariance : float array -> float array -> float
+(** Unbiased sample covariance. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation; 0 by convention when either input is constant. *)
+
+val quantile : float array -> float -> float
+(** Type-7 (linear interpolation) quantile of an unsorted sample. *)
+
+val quantile_sorted : float array -> float -> float
+(** As {!quantile} but assumes the input is already sorted ascending. *)
+
+val median : float array -> float
+
+val empirical_cdf : float array -> float -> float
+(** [empirical_cdf a] returns the step CDF x -> #{i | a_i <= x}/n. *)
+
+val standard_error : float array -> float
+(** Standard error of the mean. *)
+
+val mean_ci : ?z:float -> float array -> float * float
+(** Normal-theory confidence interval for the mean ([z] defaults to the
+    two-sided 95% value). *)
+
+val proportion_ci : ?z:float -> successes:int -> trials:int -> unit -> float * float
+(** Wilson score interval for a binomial proportion; well behaved for the
+    near-zero probabilities typical of PFD estimation. *)

@@ -1,0 +1,1 @@
+lib/report/asciiplot.ml: Array Buffer List Printf String

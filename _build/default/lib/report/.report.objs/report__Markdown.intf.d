@@ -1,0 +1,1 @@
+lib/report/markdown.mli: Table

@@ -1,0 +1,1 @@
+lib/simulator/adjudicator.ml: Channel Fmt List

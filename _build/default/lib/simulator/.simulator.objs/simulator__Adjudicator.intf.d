@@ -1,0 +1,1 @@
+lib/simulator/adjudicator.mli: Channel Format

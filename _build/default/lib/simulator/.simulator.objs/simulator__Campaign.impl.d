@@ -1,0 +1,1 @@
+lib/simulator/campaign.ml: Channel Demandspace Devteam List Numerics Plant Protection Special

@@ -1,0 +1,1 @@
+lib/simulator/campaign.mli: Demandspace Numerics Protection

@@ -1,0 +1,1 @@
+lib/simulator/channel.ml: Demandspace Fmt

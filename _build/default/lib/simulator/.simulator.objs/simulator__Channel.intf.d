@@ -1,0 +1,1 @@
+lib/simulator/channel.mli: Demandspace Format

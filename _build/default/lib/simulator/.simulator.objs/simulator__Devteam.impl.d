@@ -1,0 +1,1 @@
+lib/simulator/devteam.ml: Array Core Demandspace Kahan List Numerics Rng

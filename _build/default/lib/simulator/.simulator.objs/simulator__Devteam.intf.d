@@ -1,0 +1,1 @@
+lib/simulator/devteam.mli: Core Demandspace Numerics

@@ -1,0 +1,1 @@
+lib/simulator/fleet.ml: Array Channel Devteam Numerics Protection Runner Stats

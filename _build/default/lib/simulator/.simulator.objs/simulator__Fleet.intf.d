@@ -1,0 +1,1 @@
+lib/simulator/fleet.mli: Demandspace Numerics Protection

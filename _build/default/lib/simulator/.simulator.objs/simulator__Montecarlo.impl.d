@@ -1,0 +1,1 @@
+lib/simulator/montecarlo.ml: Array Channel Demandspace Devteam Numerics Protection Runner Stats Welford

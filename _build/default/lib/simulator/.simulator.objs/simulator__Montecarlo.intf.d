@@ -1,0 +1,1 @@
+lib/simulator/montecarlo.mli: Core Demandspace Numerics

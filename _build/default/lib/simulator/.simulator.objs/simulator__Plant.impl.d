@@ -1,0 +1,1 @@
+lib/simulator/plant.ml: Array Demandspace Numerics Rng

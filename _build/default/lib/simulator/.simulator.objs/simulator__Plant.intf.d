@@ -1,0 +1,1 @@
+lib/simulator/plant.mli: Demandspace Numerics

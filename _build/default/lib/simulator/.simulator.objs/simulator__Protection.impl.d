@@ -1,0 +1,1 @@
+lib/simulator/protection.ml: Adjudicator Channel Demandspace Fmt List

@@ -1,0 +1,1 @@
+lib/simulator/protection.mli: Adjudicator Channel Demandspace Format

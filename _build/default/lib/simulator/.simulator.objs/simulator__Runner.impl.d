@@ -1,0 +1,1 @@
+lib/simulator/runner.ml: Adjudicator Array Channel Demandspace Fmt Fun List Logs Numerics Plant Protection Stats

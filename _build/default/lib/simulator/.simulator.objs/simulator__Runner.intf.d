@@ -1,0 +1,1 @@
+lib/simulator/runner.mli: Format Numerics Protection

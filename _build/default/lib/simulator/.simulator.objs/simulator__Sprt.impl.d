@@ -1,0 +1,1 @@
+lib/simulator/sprt.ml: Channel Demandspace List Numerics Plant Protection Special

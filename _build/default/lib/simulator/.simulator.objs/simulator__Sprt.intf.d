@@ -1,0 +1,1 @@
+lib/simulator/sprt.mli: Numerics Protection

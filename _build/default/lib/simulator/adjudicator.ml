@@ -1,0 +1,24 @@
+type t = { required : int }
+
+let one_out_of_n = { required = 1 }
+
+let m_out_of_n ~required =
+  if required < 1 then invalid_arg "Adjudicator.m_out_of_n: required must be >= 1";
+  { required }
+
+let required t = t.required
+
+let combine t outputs =
+  if outputs = [] then invalid_arg "Adjudicator.combine: no channel outputs";
+  if t.required > List.length outputs then
+    invalid_arg "Adjudicator.combine: more votes required than channels";
+  let shutdowns =
+    List.length (List.filter (fun o -> o = Channel.Shutdown) outputs)
+  in
+  if shutdowns >= t.required then Channel.Shutdown else Channel.No_action
+
+let system_fails t outputs = combine t outputs = Channel.No_action
+
+let pp ppf t =
+  if t.required = 1 then Fmt.string ppf "1-out-of-N (OR)"
+  else Fmt.pf ppf "%d-out-of-N" t.required

@@ -1,0 +1,28 @@
+(** Adjudication of the channels' binary outputs.
+
+    The paper's configuration is "perfect adjudication (simple OR
+    combination of binary outputs)": the plant shuts down if any channel
+    commands it. The generalised M-out-of-N adjudicator demands at least M
+    shutdown votes — M = 1 recovers the paper's 1-out-of-2 when N = 2, and
+    M = 2, N = 3 is classic majority voting (see {!Core.Voting} for the
+    analytic counterpart). *)
+
+type t
+
+val one_out_of_n : t
+(** The OR adjudicator (any shutdown vote suffices). *)
+
+val m_out_of_n : required:int -> t
+(** Demand at least [required] shutdown votes. Raises [Invalid_argument]
+    if [required < 1]. *)
+
+val required : t -> int
+
+val combine : t -> Channel.output list -> Channel.output
+(** Raises [Invalid_argument] on an empty output list or when more votes
+    are required than channels are present. *)
+
+val system_fails : t -> Channel.output list -> bool
+(** True when the combined output is [No_action] on a demand. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,104 @@
+open Numerics
+
+type mission_outcome = Failed_at of int | Survived
+
+let time_to_first_failure rng ~system ~max_demands =
+  if max_demands <= 0 then
+    invalid_arg "Campaign.time_to_first_failure: max_demands must be positive";
+  let channels = Protection.channels system in
+  let space =
+    Demandspace.Version.space (Channel.version (List.hd channels))
+  in
+  let plant = Plant.create ~profile:(Demandspace.Space.profile space) rng in
+  let rec step t =
+    if t > max_demands then Survived
+    else if Protection.fails_on system (Plant.next_demand plant) then
+      Failed_at t
+    else step (t + 1)
+  in
+  step 1
+
+type mttf_estimate = {
+  missions : int;
+  failures : int;
+  censored : int;
+  mean_time_to_failure : float;
+      (** over failed missions only; NaN if none failed *)
+  failure_rate : float;  (** total failures / total demands observed *)
+}
+
+let estimate_mttf rng ~system ~missions ~max_demands =
+  if missions <= 0 then
+    invalid_arg "Campaign.estimate_mttf: missions must be positive";
+  let failures = ref 0 in
+  let censored = ref 0 in
+  let total_time = ref 0 in
+  let failure_time = ref 0 in
+  for _ = 1 to missions do
+    match time_to_first_failure rng ~system ~max_demands with
+    | Failed_at t ->
+        incr failures;
+        failure_time := !failure_time + t;
+        total_time := !total_time + t
+    | Survived ->
+        incr censored;
+        total_time := !total_time + max_demands
+  done;
+  {
+    missions;
+    failures = !failures;
+    censored = !censored;
+    mean_time_to_failure =
+      (if !failures = 0 then nan
+       else float_of_int !failure_time /. float_of_int !failures);
+    failure_rate = float_of_int !failures /. float_of_int !total_time;
+  }
+
+let theoretical_mttf ~pfd =
+  if pfd <= 0.0 then infinity else 1.0 /. pfd
+
+let mission_survival_probability ~pfd ~mission_demands =
+  if pfd < 0.0 || pfd > 1.0 then
+    invalid_arg "Campaign.mission_survival_probability: pfd outside [0, 1]";
+  if mission_demands < 0 then
+    invalid_arg "Campaign.mission_survival_probability: negative mission length";
+  exp (float_of_int mission_demands *. Special.log1p (-.pfd))
+
+let simulate_mission_survival rng ~system ~mission_demands ~missions =
+  if missions <= 0 then
+    invalid_arg "Campaign.simulate_mission_survival: missions must be positive";
+  let survived = ref 0 in
+  for _ = 1 to missions do
+    match time_to_first_failure rng ~system ~max_demands:mission_demands with
+    | Survived -> incr survived
+    | Failed_at _ -> ()
+  done;
+  float_of_int !survived /. float_of_int missions
+
+type architecture_report = {
+  label : string;
+  analytic_pfd : float;
+  simulated_mttf : mttf_estimate;
+  survival_1000 : float;
+}
+
+let compare_architectures rng space ~architectures ~missions ~max_demands =
+  List.map
+    (fun (label, channels, required) ->
+      if channels <= 0 then
+        invalid_arg "Campaign.compare_architectures: channels must be positive";
+      let mk () =
+        Channel.create ~name:label (Devteam.develop rng space)
+      in
+      let system =
+        Protection.voted ~required (List.init channels (fun _ -> mk ()))
+      in
+      let analytic_pfd = Protection.true_pfd system in
+      {
+        label;
+        analytic_pfd;
+        simulated_mttf = estimate_mttf rng ~system ~missions ~max_demands;
+        survival_1000 =
+          mission_survival_probability ~pfd:analytic_pfd ~mission_demands:1000;
+      })
+    architectures

@@ -1,0 +1,22 @@
+type output = Shutdown | No_action
+
+type t = { name : string; version : Demandspace.Version.t }
+
+let create ~name version = { name; version }
+let name t = t.name
+let version t = t.version
+
+let respond t demand =
+  (* A demand is, by definition, a plant state requiring intervention; a
+     correct channel commands shutdown. The channel fails exactly when the
+     demand lies in its version's failure set. *)
+  if Demandspace.Version.fails_on t.version demand then No_action else Shutdown
+
+let fails_on t demand = respond t demand = No_action
+let pfd t = Demandspace.Version.pfd t.version
+
+let pp_output ppf = function
+  | Shutdown -> Fmt.string ppf "shutdown"
+  | No_action -> Fmt.string ppf "no-action"
+
+let pp ppf t = Fmt.pf ppf "channel %s (pfd=%.6g)" t.name (pfd t)

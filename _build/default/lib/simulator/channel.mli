@@ -1,0 +1,23 @@
+(** One channel of the protection system of Fig. 1: a software version that
+    reads the sensed plant state (the demand) and either commands shutdown
+    (correct, since a demand by definition requires intervention) or fails
+    to act. *)
+
+type output = Shutdown | No_action
+(** Binary channel output; the paper's OR adjudication combines these. *)
+
+type t
+
+val create : name:string -> Demandspace.Version.t -> t
+val name : t -> string
+val version : t -> Demandspace.Version.t
+
+val respond : t -> Demandspace.Demand.t -> output
+(** [No_action] exactly when the demand is a failure point of the channel's
+    version. *)
+
+val fails_on : t -> Demandspace.Demand.t -> bool
+val pfd : t -> float
+
+val pp_output : Format.formatter -> output -> unit
+val pp : Format.formatter -> t -> unit

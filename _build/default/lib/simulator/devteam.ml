@@ -1,0 +1,40 @@
+open Numerics
+
+let sample_fault_set rng universe =
+  let present = ref [] in
+  for i = Core.Universe.size universe - 1 downto 0 do
+    if Rng.bool rng ~p:(Core.Fault.p (Core.Universe.fault universe i)) then
+      present := i :: !present
+  done;
+  !present
+
+let develop rng space =
+  let present = ref [] in
+  for i = Demandspace.Space.fault_count space - 1 downto 0 do
+    if Rng.bool rng ~p:(Demandspace.Space.introduction_prob space i) then
+      present := i :: !present
+  done;
+  Demandspace.Version.create space !present
+
+let develop_pair rng space = (develop rng space, develop rng space)
+
+let develop_many rng space ~count = Array.init count (fun _ -> develop rng space)
+
+let version_pfd_from_universe rng universe =
+  (* Abstract development: sample the fault set and return the model PFD
+     (sum of the q_i of the present faults) without materialising regions. *)
+  let present = sample_fault_set rng universe in
+  Kahan.sum_list
+    (List.map (fun i -> Core.Fault.q (Core.Universe.fault universe i)) present)
+
+let pair_pfd_from_universe rng universe =
+  let a = sample_fault_set rng universe in
+  let b = sample_fault_set rng universe in
+  let common = List.filter (fun i -> List.mem i b) a in
+  ( Kahan.sum_list
+      (List.map (fun i -> Core.Fault.q (Core.Universe.fault universe i)) a),
+    Kahan.sum_list
+      (List.map (fun i -> Core.Fault.q (Core.Universe.fault universe i)) b),
+    Kahan.sum_list
+      (List.map (fun i -> Core.Fault.q (Core.Universe.fault universe i)) common)
+  )

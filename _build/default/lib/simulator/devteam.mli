@@ -1,0 +1,32 @@
+(** The development process as a random experiment (Section 2.2): each
+    potential fault is independently left in the delivered version with its
+    probability p_i ("as though the design team ... tossed dice to decide
+    whether to insert it or not").
+
+    Separate development of the two channels is modelled by independent
+    draws from the same universe. *)
+
+val sample_fault_set : Numerics.Rng.t -> Core.Universe.t -> int list
+(** Indices of the faults present in one newly developed version. *)
+
+val develop : Numerics.Rng.t -> Demandspace.Space.t -> Demandspace.Version.t
+(** Develop a concrete version over a demand space (regions materialised,
+    true PFD computable). *)
+
+val develop_pair :
+  Numerics.Rng.t -> Demandspace.Space.t -> Demandspace.Version.t * Demandspace.Version.t
+(** Two independently developed versions — the paper's 1-out-of-2 setting. *)
+
+val develop_many :
+  Numerics.Rng.t -> Demandspace.Space.t -> count:int -> Demandspace.Version.t array
+(** A population of versions (e.g. the 27 of the Knight–Leveson
+    replication). *)
+
+val version_pfd_from_universe : Numerics.Rng.t -> Core.Universe.t -> float
+(** Abstract development straight from the parameter model: PFD of one
+    sampled version under the non-overlap assumption. *)
+
+val pair_pfd_from_universe :
+  Numerics.Rng.t -> Core.Universe.t -> float * float * float
+(** [(pfd_a, pfd_b, pfd_pair)] for an independently developed pair; the
+    pair PFD is the summed measure of the common faults. *)

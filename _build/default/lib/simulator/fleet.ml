@@ -1,0 +1,98 @@
+open Numerics
+
+type plant_record = {
+  system_pfd : float;
+  demands : int;
+  failures : int;
+}
+
+type t = { records : plant_record array }
+
+let deploy_pairs rng space ~plants =
+  if plants <= 0 then invalid_arg "Fleet.deploy_pairs: plants must be positive";
+  Array.init plants (fun _ ->
+      let va, vb = Devteam.develop_pair rng space in
+      Protection.one_out_of_two
+        (Channel.create ~name:"A" va)
+        (Channel.create ~name:"B" vb))
+
+let deploy_singles rng space ~plants =
+  if plants <= 0 then invalid_arg "Fleet.deploy_singles: plants must be positive";
+  Array.init plants (fun _ ->
+      Protection.create [ Channel.create ~name:"single" (Devteam.develop rng space) ])
+
+let observe rng systems ~demands_per_plant =
+  if demands_per_plant <= 0 then
+    invalid_arg "Fleet.observe: demands_per_plant must be positive";
+  {
+    records =
+      Array.map
+        (fun system ->
+          let stats = Runner.run rng ~system ~demand_count:demands_per_plant in
+          {
+            system_pfd = Protection.true_pfd system;
+            demands = demands_per_plant;
+            failures = stats.Runner.system_failures;
+          })
+        systems;
+  }
+
+let size t = Array.length t.records
+let records t = Array.copy t.records
+
+let total_failures t =
+  Array.fold_left (fun acc r -> acc + r.failures) 0 t.records
+
+let pooled_rate t =
+  let demands = Array.fold_left (fun acc r -> acc + r.demands) 0 t.records in
+  float_of_int (total_failures t) /. float_of_int demands
+
+type dispersion = {
+  mean_count : float;
+  count_variance : float;
+  binomial_variance : float;
+      (** what the variance would be if every plant had the pooled PFD *)
+  overdispersion : float;  (** count_variance / binomial_variance *)
+}
+
+let dispersion t =
+  let counts = Array.map (fun r -> float_of_int r.failures) t.records in
+  if Array.length counts < 2 then
+    invalid_arg "Fleet.dispersion: need at least two plants";
+  let mean_count = Stats.mean counts in
+  let count_variance = Stats.variance counts in
+  let demands = float_of_int t.records.(0).demands in
+  let p = pooled_rate t in
+  let binomial_variance = demands *. p *. (1.0 -. p) in
+  {
+    mean_count;
+    count_variance;
+    binomial_variance;
+    overdispersion =
+      (if binomial_variance > 0.0 then count_variance /. binomial_variance
+       else nan);
+  }
+
+let estimate_pfd_moments t =
+  (* Method of moments: with K_j ~ Bin(T, theta_j) given plant j's true
+     PFD theta_j,
+       E[K]   = T mu,
+       Var[K] = T mu - T E[theta^2] + T^2 Var(theta)
+     (exactly, since Var[K] = E[T theta (1-theta)] + T^2 Var(theta)), so
+       Var(theta) = (S2 - T mu_hat + T E[theta^2]) / T^2
+     which we solve with E[theta^2] = Var(theta) + mu^2. *)
+  let counts = Array.map (fun r -> float_of_int r.failures) t.records in
+  if Array.length counts < 2 then
+    invalid_arg "Fleet.estimate_pfd_moments: need at least two plants";
+  let demands = float_of_int t.records.(0).demands in
+  let mu_hat = Stats.mean counts /. demands in
+  let s2 = Stats.variance counts in
+  (* (T^2 - T) Var = S2 - T mu + T mu^2  =>  Var = (S2 - T mu (1 - mu)) / (T^2 - T) *)
+  let var_hat =
+    (s2 -. (demands *. mu_hat *. (1.0 -. mu_hat)))
+    /. ((demands *. demands) -. demands)
+  in
+  (mu_hat, max 0.0 var_hat)
+
+let true_pfd_summary t =
+  Stats.summarize (Array.map (fun r -> r.system_pfd) t.records)

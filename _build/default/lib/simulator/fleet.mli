@@ -1,0 +1,58 @@
+(** A fleet of plants, each protected by an independently developed system
+    from the same process.
+
+    This makes the paper's distributional results *observable*: because
+    the PFD varies across developed systems (variance sigma^2, eqs. 2),
+    the failure counts across a fleet are over-dispersed relative to a
+    common-PFD binomial, and the method of moments recovers E(Theta) and
+    Var(Theta) from field data alone — the bridge between the model's
+    unobservable parameters and the data an assessor could actually
+    collect (experiment E26). *)
+
+type t
+(** Observed fleet: per-plant true PFD (for oracle checks), demand count
+    and failure count. *)
+
+type plant_record = {
+  system_pfd : float;
+  demands : int;
+  failures : int;
+}
+
+val deploy_pairs :
+  Numerics.Rng.t -> Demandspace.Space.t -> plants:int -> Protection.t array
+(** Each plant gets a fresh, independently developed 1-out-of-2 system. *)
+
+val deploy_singles :
+  Numerics.Rng.t -> Demandspace.Space.t -> plants:int -> Protection.t array
+(** Single-version plants (the comparison fleet). *)
+
+val observe : Numerics.Rng.t -> Protection.t array -> demands_per_plant:int -> t
+(** Run every plant through its own operational campaign. *)
+
+val size : t -> int
+val records : t -> plant_record array
+val total_failures : t -> int
+
+val pooled_rate : t -> float
+(** Fleet-wide failures per demand. *)
+
+type dispersion = {
+  mean_count : float;
+  count_variance : float;
+  binomial_variance : float;
+  overdispersion : float;
+}
+
+val dispersion : t -> dispersion
+(** Over-dispersion of per-plant failure counts; ~1 when every plant has
+    the same PFD, > 1 when the PFD varies across developments (the
+    observable footprint of sigma > 0). *)
+
+val estimate_pfd_moments : t -> float * float
+(** Method-of-moments estimates (mean, variance) of the PFD distribution
+    across developments, from counts alone (variance clamped at 0). *)
+
+val true_pfd_summary : t -> Numerics.Stats.summary
+(** Oracle: summary of the plants' true PFDs (available in simulation
+    only). *)

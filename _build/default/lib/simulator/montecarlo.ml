@@ -1,0 +1,101 @@
+open Numerics
+
+type estimate = {
+  replications : int;
+  theta1 : Stats.summary;
+  theta2 : Stats.summary;
+  p_n1_pos : float;
+  p_n2_pos : float;
+  risk_ratio : float;
+  theta1_samples : float array;
+  theta2_samples : float array;
+}
+
+let estimate rng universe ~replications =
+  if replications <= 0 then
+    invalid_arg "Montecarlo.estimate: replications must be positive";
+  let theta1_samples = Array.make replications 0.0 in
+  let theta2_samples = Array.make replications 0.0 in
+  let n1_pos = ref 0 and n2_pos = ref 0 in
+  for r = 0 to replications - 1 do
+    let pfd_a, _pfd_b, pfd_pair = Devteam.pair_pfd_from_universe rng universe in
+    theta1_samples.(r) <- pfd_a;
+    theta2_samples.(r) <- pfd_pair;
+    if pfd_a > 0.0 then incr n1_pos;
+    if pfd_pair > 0.0 then incr n2_pos
+  done;
+  let p_n1_pos = float_of_int !n1_pos /. float_of_int replications in
+  let p_n2_pos = float_of_int !n2_pos /. float_of_int replications in
+  {
+    replications;
+    theta1 = Stats.summarize theta1_samples;
+    theta2 = Stats.summarize theta2_samples;
+    p_n1_pos;
+    p_n2_pos;
+    risk_ratio = (if p_n1_pos > 0.0 then p_n2_pos /. p_n1_pos else nan);
+    theta1_samples;
+    theta2_samples;
+  }
+
+let quantile_theta2 est alpha = Stats.quantile est.theta2_samples alpha
+let quantile_theta1 est alpha = Stats.quantile est.theta1_samples alpha
+
+type population = {
+  version_pfds : float array;
+  pair_pfds : float array;
+  version_summary : Stats.summary;
+  pair_summary : Stats.summary;
+}
+
+let version_population rng space ~count =
+  if count < 2 then
+    invalid_arg "Montecarlo.version_population: need at least two versions";
+  let versions = Devteam.develop_many rng space ~count in
+  let version_pfds = Array.map Demandspace.Version.pfd versions in
+  let pairs = ref [] in
+  for i = 0 to count - 1 do
+    for j = i + 1 to count - 1 do
+      pairs := Demandspace.Version.pair_pfd versions.(i) versions.(j) :: !pairs
+    done
+  done;
+  let pair_pfds = Array.of_list !pairs in
+  {
+    version_pfds;
+    pair_pfds;
+    version_summary = Stats.summarize version_pfds;
+    pair_summary = Stats.summarize pair_pfds;
+  }
+
+let knight_leveson_shape pop =
+  (* The paper's Section 7 check: "diversity reduced not only the sample
+     mean of the PFD of the 27 program versions produced, but also -
+     greatly - its standard deviation". Returns (mean ratio, std ratio):
+     both below 1 reproduce the observation, and std ratio << mean ratio
+     reproduces "greatly". *)
+  let mean_ratio =
+    if pop.version_summary.mean > 0.0 then
+      pop.pair_summary.mean /. pop.version_summary.mean
+    else nan
+  in
+  let std_ratio =
+    if pop.version_summary.std > 0.0 then
+      pop.pair_summary.std /. pop.version_summary.std
+    else nan
+  in
+  (mean_ratio, std_ratio)
+
+let empirical_system_pfd rng space ~replications ~demands_per_system =
+  (* Full-stack estimate: develop a pair, build the Fig. 1 system, run it
+     on operational demands, and average the observed failure rates. *)
+  let acc = Welford.create () in
+  for _ = 1 to replications do
+    let va, vb = Devteam.develop_pair rng space in
+    let system =
+      Protection.one_out_of_two
+        (Channel.create ~name:"A" va)
+        (Channel.create ~name:"B" vb)
+    in
+    let stats = Runner.run rng ~system ~demand_count:demands_per_system in
+    Welford.add acc stats.Runner.estimated_pfd
+  done;
+  Welford.mean acc

@@ -1,0 +1,25 @@
+open Numerics
+
+type event = Demand of Demandspace.Demand.t | Idle
+
+type t = {
+  profile : Demandspace.Profile.t;
+  demand_rate : float;
+  rng : Rng.t;
+}
+
+let create ?(demand_rate = 1.0) ~profile rng =
+  if demand_rate <= 0.0 || demand_rate > 1.0 then
+    invalid_arg "Plant.create: demand_rate must lie in (0, 1]";
+  { profile; demand_rate; rng }
+
+let step t =
+  if Rng.bool t.rng ~p:t.demand_rate then
+    Demand (Demandspace.Profile.sample t.profile t.rng)
+  else Idle
+
+let next_demand t = Demandspace.Profile.sample t.profile t.rng
+
+let demands t ~count = Array.init count (fun _ -> next_demand t)
+
+let demand_rate t = t.demand_rate

@@ -1,0 +1,25 @@
+(** The controlled plant as a demand source.
+
+    The paper's footnote 2: "Our analysis refers to systems whose operation
+    can be seen as a series of demands, possibly separated by idle
+    periods." The plant emits demands drawn from the operational profile,
+    optionally interleaved with idle steps. *)
+
+type event = Demand of Demandspace.Demand.t | Idle
+
+type t
+
+val create : ?demand_rate:float -> profile:Demandspace.Profile.t -> Numerics.Rng.t -> t
+(** [demand_rate] is the per-step probability that the plant state requires
+    intervention (default 1.0: a pure demand sequence). *)
+
+val step : t -> event
+(** One operational step. *)
+
+val next_demand : t -> Demandspace.Demand.t
+(** Skip idle periods and produce the next demand. *)
+
+val demands : t -> count:int -> Demandspace.Demand.t array
+(** A batch of demands. *)
+
+val demand_rate : t -> float

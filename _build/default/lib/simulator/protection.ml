@@ -1,0 +1,44 @@
+type t = { channels : Channel.t list; adjudicator : Adjudicator.t }
+
+let create ?(adjudicator = Adjudicator.one_out_of_n) channels =
+  if channels = [] then invalid_arg "Protection.create: no channels";
+  if Adjudicator.required adjudicator > List.length channels then
+    invalid_arg "Protection.create: more votes required than channels";
+  { channels; adjudicator }
+
+let one_out_of_two a b = create [ a; b ]
+
+let voted ~required channels =
+  create ~adjudicator:(Adjudicator.m_out_of_n ~required) channels
+
+let channels t = t.channels
+let channel_count t = List.length t.channels
+let adjudicator t = t.adjudicator
+
+let respond t demand =
+  Adjudicator.combine t.adjudicator
+    (List.map (fun c -> Channel.respond c demand) t.channels)
+
+let fails_on t demand = respond t demand = Channel.No_action
+
+let true_pfd t =
+  match t.channels with
+  | [] -> assert false
+  | first :: _ ->
+      (* Exact: count, demand by demand, whether enough channels survive.
+         (For the 1-out-of-N adjudicator this is the intersection of the
+         channels' failure sets.) *)
+      let space = Demandspace.Version.space (Channel.version first) in
+      let profile = Demandspace.Space.profile space in
+      let acc = ref 0.0 in
+      for d = 0 to Demandspace.Space.size space - 1 do
+        let demand = Demandspace.Demand.of_int d in
+        if fails_on t demand then
+          acc := !acc +. Demandspace.Profile.probability profile demand
+      done;
+      !acc
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>protection system: %a@,%a@]" Adjudicator.pp t.adjudicator
+    (Fmt.list ~sep:Fmt.cut Channel.pp)
+    t.channels

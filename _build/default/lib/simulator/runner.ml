@@ -1,0 +1,69 @@
+open Numerics
+
+type stats = {
+  demands : int;
+  system_failures : int;
+  channel_failures : int array;
+  coincident_failures : int;
+  estimated_pfd : float;
+  pfd_ci : float * float;
+}
+
+let run ?(log = false) rng ~system ~demand_count =
+  if demand_count <= 0 then invalid_arg "Runner.run: demand_count must be positive";
+  let channels = Protection.channels system in
+  let n_channels = List.length channels in
+  let channel_failures = Array.make n_channels 0 in
+  let system_failures = ref 0 in
+  let coincident = ref 0 in
+  let space =
+    Demandspace.Version.space (Channel.version (List.hd channels))
+  in
+  let plant = Plant.create ~profile:(Demandspace.Space.profile space) rng in
+  for step = 1 to demand_count do
+    let demand = Plant.next_demand plant in
+    let outputs = List.map (fun c -> Channel.respond c demand) channels in
+    let failed =
+      List.mapi
+        (fun i o ->
+          if o = Channel.No_action then begin
+            channel_failures.(i) <- channel_failures.(i) + 1;
+            true
+          end
+          else false)
+        outputs
+    in
+    let n_failed = List.length (List.filter Fun.id failed) in
+    if n_failed >= 2 then incr coincident;
+    if Adjudicator.system_fails (Protection.adjudicator system) outputs then begin
+      incr system_failures;
+      if log then
+        Logs.debug (fun m ->
+            m "step %d: system failure on %a" step Demandspace.Demand.pp demand)
+    end
+  done;
+  let estimated_pfd =
+    float_of_int !system_failures /. float_of_int demand_count
+  in
+  {
+    demands = demand_count;
+    system_failures = !system_failures;
+    channel_failures;
+    coincident_failures = !coincident;
+    estimated_pfd;
+    pfd_ci =
+      Stats.proportion_ci ~successes:!system_failures ~trials:demand_count ();
+  }
+
+let channel_pfd_estimates stats =
+  Array.map
+    (fun f -> float_of_int f /. float_of_int stats.demands)
+    stats.channel_failures
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>demands: %d@,system failures: %d (pfd ~ %.3g, 95%% CI [%.3g, %.3g])@,\
+     channel failures: %a@,coincident failures: %d@]"
+    s.demands s.system_failures s.estimated_pfd (fst s.pfd_ci) (snd s.pfd_ci)
+    Fmt.(array ~sep:sp int)
+    s.channel_failures s.coincident_failures

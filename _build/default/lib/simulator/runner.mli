@@ -1,0 +1,27 @@
+(** Operational testing of a protection system: feed it a stream of demands
+    from the plant and record failures.
+
+    This closes the loop the paper cannot close analytically: the empirical
+    failure frequency of the executed system converges to the model PFD
+    (the sum over common faults of q_i) — tested in the integration suite. *)
+
+type stats = {
+  demands : int;
+  system_failures : int;
+      (** demands on which every channel failed (OR adjudication) *)
+  channel_failures : int array;  (** per-channel failure counts *)
+  coincident_failures : int;
+      (** demands on which at least two channels failed *)
+  estimated_pfd : float;
+  pfd_ci : float * float;  (** Wilson 95% interval *)
+}
+
+val run :
+  ?log:bool -> Numerics.Rng.t -> system:Protection.t -> demand_count:int -> stats
+(** Run the system on [demand_count] demands drawn from the space's
+    operational profile. [log] emits a debug line per system failure. *)
+
+val channel_pfd_estimates : stats -> float array
+(** Empirical per-channel PFDs. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,83 @@
+open Numerics
+
+type decision = Accept | Reject | Continue
+
+type t = {
+  theta0 : float;
+  theta1 : float;
+  log_a : float;
+  log_b : float;
+  log_lr_failure : float;
+  log_lr_success : float;
+  mutable log_lr : float;
+  mutable demands : int;
+  mutable failures : int;
+}
+
+let create ~theta0 ~theta1 ~alpha ~beta =
+  if not (0.0 < theta0 && theta0 < theta1 && theta1 < 1.0) then
+    invalid_arg "Sprt.create: need 0 < theta0 < theta1 < 1";
+  if alpha <= 0.0 || alpha >= 1.0 || beta <= 0.0 || beta >= 1.0 then
+    invalid_arg "Sprt.create: error rates must lie strictly in (0, 1)";
+  {
+    theta0;
+    theta1;
+    (* Wald boundaries: accept H0 (theta <= theta0) when the log
+       likelihood ratio falls below log B, reject when it rises above
+       log A. *)
+    log_a = log ((1.0 -. beta) /. alpha);
+    log_b = log (beta /. (1.0 -. alpha));
+    log_lr_failure = log (theta1 /. theta0);
+    log_lr_success = Special.log1p (-.theta1) -. Special.log1p (-.theta0);
+    log_lr = 0.0;
+    demands = 0;
+    failures = 0;
+  }
+
+let state t =
+  if t.log_lr >= t.log_a then Reject
+  else if t.log_lr <= t.log_b then Accept
+  else Continue
+
+let record t ~failed =
+  (match state t with
+  | Continue ->
+      t.demands <- t.demands + 1;
+      if failed then begin
+        t.failures <- t.failures + 1;
+        t.log_lr <- t.log_lr +. t.log_lr_failure
+      end
+      else t.log_lr <- t.log_lr +. t.log_lr_success
+  | Accept | Reject -> () (* test already concluded; ignore further data *));
+  state t
+
+let demands_observed t = t.demands
+let failures_observed t = t.failures
+let log_likelihood_ratio t = t.log_lr
+
+let run rng ~system ~theta0 ~theta1 ~alpha ~beta ~max_demands =
+  if max_demands <= 0 then
+    invalid_arg "Sprt.run: max_demands must be positive";
+  let t = create ~theta0 ~theta1 ~alpha ~beta in
+  let channels = Protection.channels system in
+  let space = Demandspace.Version.space (Channel.version (List.hd channels)) in
+  let plant = Plant.create ~profile:(Demandspace.Space.profile space) rng in
+  let rec loop () =
+    if t.demands >= max_demands then (Continue, t)
+    else
+      let failed = Protection.fails_on system (Plant.next_demand plant) in
+      match record t ~failed with
+      | Continue -> loop ()
+      | (Accept | Reject) as d -> (d, t)
+  in
+  loop ()
+
+let expected_sample_size_h0 ~theta0 ~theta1 ~alpha ~beta =
+  (* Wald's approximation for E[N | H0]. *)
+  let log_a = log ((1.0 -. beta) /. alpha) in
+  let log_b = log (beta /. (1.0 -. alpha)) in
+  let per_demand =
+    (theta0 *. log (theta1 /. theta0))
+    +. ((1.0 -. theta0) *. (Special.log1p (-.theta1) -. Special.log1p (-.theta0)))
+  in
+  ((alpha *. log_a) +. ((1.0 -. alpha) *. log_b)) /. per_demand

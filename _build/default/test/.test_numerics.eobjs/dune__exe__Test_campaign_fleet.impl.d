@@ -1,0 +1,1 @@
+test/test_campaign_fleet.ml: Alcotest Array Core Demandspace List Numerics Printf Simulator

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core List Numerics Printf QCheck2 QCheck_alcotest

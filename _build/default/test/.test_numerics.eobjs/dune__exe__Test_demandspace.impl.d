@@ -1,0 +1,1 @@
+test/test_demandspace.ml: Alcotest Array Core Demand Demandspace Fun Genspace List Numerics Profile QCheck2 QCheck_alcotest Region Space String Version

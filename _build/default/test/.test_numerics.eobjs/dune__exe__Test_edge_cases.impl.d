@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Core Demandspace Extensions Float List Numerics Report Simulator String

@@ -1,0 +1,1 @@
+test/test_functional_robustness.ml: Alcotest Array Baselines Core Demandspace Extensions List Numerics

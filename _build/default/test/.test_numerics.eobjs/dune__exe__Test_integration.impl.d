@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baselines Core Demandspace Experiments Extensions Hashtbl List Numerics Printf Report Simulator String

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Alias Array Bitset Bootstrap Deriv Float Grid Histogram Kahan Ks List Normal_dist Numerics Printf QCheck2 QCheck_alcotest Rng Rootfind Sampler Special Stats Welford

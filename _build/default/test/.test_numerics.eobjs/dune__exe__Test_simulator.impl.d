@@ -1,0 +1,1 @@
+test/test_simulator.ml: Adjudicator Alcotest Array Channel Core Demandspace List Numerics Simulator

@@ -1,0 +1,1 @@
+test/test_tailbound_sprt.ml: Alcotest Array Core Demandspace Float List Numerics Printf Simulator

@@ -1,0 +1,1 @@
+test/test_tailbound_sprt.mli:

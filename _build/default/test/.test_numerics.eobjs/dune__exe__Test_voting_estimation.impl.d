@@ -1,0 +1,1 @@
+test/test_voting_estimation.ml: Adjudicator Alcotest Array Channel Core Demandspace Extensions Float List Numerics Printf Simulator

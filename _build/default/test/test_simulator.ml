@@ -1,0 +1,256 @@
+(* Tests for the protection-system simulator. *)
+
+let check_close ?(eps = 1e-12) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let rng0 () = Numerics.Rng.create ~seed:4242
+
+let make_space () =
+  let profile = Demandspace.Profile.uniform ~size:200 in
+  let r1 = Demandspace.Region.interval ~space_size:200 ~lo:0 ~hi:19 in
+  let r2 = Demandspace.Region.interval ~space_size:200 ~lo:50 ~hi:59 in
+  let r3 = Demandspace.Region.points ~space_size:200 [ 100; 150 ] in
+  Demandspace.Space.create ~profile
+    ~faults:[| (r1, 0.4); (r2, 0.25); (r3, 0.6) |]
+
+(* ------------------------------------------------------------------ *)
+(* Devteam                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_devteam_frequencies () =
+  let rng = rng0 () in
+  let u = Core.Universe.of_pairs [ (0.4, 0.1); (0.25, 0.1); (0.6, 0.1) ] in
+  let counts = Array.make 3 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    List.iter
+      (fun i -> counts.(i) <- counts.(i) + 1)
+      (Simulator.Devteam.sample_fault_set rng u)
+  done;
+  check_close ~eps:0.01 "fault 0 at p0" 0.4 (float_of_int counts.(0) /. float_of_int n);
+  check_close ~eps:0.01 "fault 1 at p1" 0.25 (float_of_int counts.(1) /. float_of_int n);
+  check_close ~eps:0.01 "fault 2 at p2" 0.6 (float_of_int counts.(2) /. float_of_int n)
+
+let test_devteam_version_pfd () =
+  let rng = rng0 () in
+  let u = Core.Universe.of_pairs [ (0.5, 0.2); (0.5, 0.3) ] in
+  let acc = Numerics.Welford.create () in
+  for _ = 1 to 50_000 do
+    Numerics.Welford.add acc (Simulator.Devteam.version_pfd_from_universe rng u)
+  done;
+  check_close ~eps:0.005 "mean version PFD = mu1" (Core.Moments.mu1 u)
+    (Numerics.Welford.mean acc)
+
+let test_devteam_pair_pfd () =
+  let rng = rng0 () in
+  let u = Core.Universe.of_pairs [ (0.5, 0.2); (0.3, 0.3) ] in
+  let acc = Numerics.Welford.create () in
+  for _ = 1 to 50_000 do
+    let _, _, pair = Simulator.Devteam.pair_pfd_from_universe rng u in
+    Numerics.Welford.add acc pair
+  done;
+  check_close ~eps:0.005 "mean pair PFD = mu2" (Core.Moments.mu2 u)
+    (Numerics.Welford.mean acc)
+
+let test_devteam_develop () =
+  let rng = rng0 () in
+  let space = make_space () in
+  let v = Simulator.Devteam.develop rng space in
+  List.iter
+    (fun i -> if i < 0 || i > 2 then Alcotest.fail "fault index out of range")
+    (Demandspace.Version.present_faults v)
+
+(* ------------------------------------------------------------------ *)
+(* Channel / Adjudicator / Protection                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_channel_respond () =
+  let space = make_space () in
+  let v = Demandspace.Version.create space [ 0 ] in
+  let c = Simulator.Channel.create ~name:"A" v in
+  Alcotest.(check bool) "fails inside its region" true
+    (Simulator.Channel.respond c (Demandspace.Demand.of_int 5)
+    = Simulator.Channel.No_action);
+  Alcotest.(check bool) "shuts down elsewhere" true
+    (Simulator.Channel.respond c (Demandspace.Demand.of_int 120)
+    = Simulator.Channel.Shutdown);
+  check_close ~eps:1e-12 "channel pfd" 0.1 (Simulator.Channel.pfd c)
+
+let test_adjudicator_truth_table () =
+  let open Simulator in
+  let adj = Adjudicator.one_out_of_n in
+  Alcotest.(check bool) "both good" true
+    (Adjudicator.combine adj [ Channel.Shutdown; Channel.Shutdown ]
+    = Channel.Shutdown);
+  Alcotest.(check bool) "first fails" true
+    (Adjudicator.combine adj [ Channel.No_action; Channel.Shutdown ]
+    = Channel.Shutdown);
+  Alcotest.(check bool) "second fails" true
+    (Adjudicator.combine adj [ Channel.Shutdown; Channel.No_action ]
+    = Channel.Shutdown);
+  Alcotest.(check bool) "both fail" true
+    (Adjudicator.combine adj [ Channel.No_action; Channel.No_action ]
+    = Channel.No_action);
+  Alcotest.(check bool) "system fails only when all fail" true
+    (Adjudicator.system_fails adj [ Channel.No_action; Channel.No_action ]);
+  Alcotest.check_raises "empty outputs"
+    (Invalid_argument "Adjudicator.combine: no channel outputs") (fun () ->
+      ignore (Adjudicator.combine adj []))
+
+let test_protection_pfd () =
+  let space = make_space () in
+  let a = Demandspace.Version.create space [ 0; 1 ] in
+  let b = Demandspace.Version.create space [ 1; 2 ] in
+  let system =
+    Simulator.Protection.one_out_of_two
+      (Simulator.Channel.create ~name:"A" a)
+      (Simulator.Channel.create ~name:"B" b)
+  in
+  check_close ~eps:1e-12 "system pfd = common fault measure" 0.05
+    (Simulator.Protection.true_pfd system);
+  check_close ~eps:1e-12 "matches Version.pair_pfd"
+    (Demandspace.Version.pair_pfd a b)
+    (Simulator.Protection.true_pfd system);
+  (* The system fails exactly on demands where both channels fail. *)
+  Alcotest.(check bool) "fails on shared region" true
+    (Simulator.Protection.fails_on system (Demandspace.Demand.of_int 55));
+  Alcotest.(check bool) "survives single-channel fault" false
+    (Simulator.Protection.fails_on system (Demandspace.Demand.of_int 5))
+
+let test_protection_three_channels () =
+  let space = make_space () in
+  let mk faults = Simulator.Channel.create ~name:"x" (Demandspace.Version.create space faults) in
+  let system = Simulator.Protection.create [ mk [ 0 ]; mk [ 0; 1 ]; mk [ 0; 2 ] ] in
+  check_close ~eps:1e-12 "1oo3 pfd = triple intersection" 0.1
+    (Simulator.Protection.true_pfd system)
+
+(* ------------------------------------------------------------------ *)
+(* Plant / Runner                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_plant_idle_rate () =
+  let rng = rng0 () in
+  let profile = Demandspace.Profile.uniform ~size:10 in
+  let plant = Simulator.Plant.create ~demand_rate:0.25 ~profile rng in
+  let demands = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    match Simulator.Plant.step plant with
+    | Simulator.Plant.Demand _ -> incr demands
+    | Simulator.Plant.Idle -> ()
+  done;
+  check_close ~eps:0.01 "demand rate respected" 0.25
+    (float_of_int !demands /. float_of_int n)
+
+let test_runner_empirical_pfd () =
+  let rng = rng0 () in
+  let space = make_space () in
+  let a = Demandspace.Version.create space [ 0; 1 ] in
+  let b = Demandspace.Version.create space [ 1 ] in
+  let system =
+    Simulator.Protection.one_out_of_two
+      (Simulator.Channel.create ~name:"A" a)
+      (Simulator.Channel.create ~name:"B" b)
+  in
+  let stats = Simulator.Runner.run rng ~system ~demand_count:100_000 in
+  let truth = Simulator.Protection.true_pfd system in
+  check_close ~eps:0.005 "empirical pfd converges" truth
+    stats.Simulator.Runner.estimated_pfd;
+  let lo, hi = stats.Simulator.Runner.pfd_ci in
+  Alcotest.(check bool) "CI contains truth" true (lo <= truth && truth <= hi);
+  Alcotest.(check int) "demand count recorded" 100_000 stats.Simulator.Runner.demands;
+  (* channel A contains fault 0 and 1: pfd 0.15 *)
+  let est = Simulator.Runner.channel_pfd_estimates stats in
+  check_close ~eps:0.01 "channel A empirical pfd" 0.15 est.(0)
+
+let test_runner_coincident () =
+  let rng = rng0 () in
+  let space = make_space () in
+  let v = Demandspace.Version.create space [ 0 ] in
+  let system =
+    Simulator.Protection.one_out_of_two
+      (Simulator.Channel.create ~name:"A" v)
+      (Simulator.Channel.create ~name:"B" v)
+  in
+  let stats = Simulator.Runner.run rng ~system ~demand_count:20_000 in
+  Alcotest.(check int) "identical channels fail coincidentally"
+    stats.Simulator.Runner.system_failures stats.Simulator.Runner.coincident_failures
+
+(* ------------------------------------------------------------------ *)
+(* Montecarlo                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_montecarlo_estimate () =
+  let rng = rng0 () in
+  let u = Core.Universe.of_pairs [ (0.3, 0.1); (0.2, 0.2); (0.4, 0.05) ] in
+  let est = Simulator.Montecarlo.estimate rng u ~replications:60_000 in
+  check_close ~eps:0.003 "theta1 mean" (Core.Moments.mu1 u)
+    est.Simulator.Montecarlo.theta1.Numerics.Stats.mean;
+  check_close ~eps:0.002 "theta2 mean" (Core.Moments.mu2 u)
+    est.Simulator.Montecarlo.theta2.Numerics.Stats.mean;
+  check_close ~eps:0.01 "P(N1>0)" (Core.Fault_count.p_n1_pos u)
+    est.Simulator.Montecarlo.p_n1_pos;
+  check_close ~eps:0.02 "risk ratio" (Core.Fault_count.risk_ratio u)
+    est.Simulator.Montecarlo.risk_ratio
+
+let test_montecarlo_sigma () =
+  let rng = rng0 () in
+  let u = Core.Universe.of_pairs [ (0.3, 0.1); (0.2, 0.2); (0.4, 0.05) ] in
+  let est = Simulator.Montecarlo.estimate rng u ~replications:60_000 in
+  check_close ~eps:0.003 "theta1 std" (Core.Moments.sigma1 u)
+    est.Simulator.Montecarlo.theta1.Numerics.Stats.std
+
+let test_version_population () =
+  let rng = rng0 () in
+  let space = make_space () in
+  let pop = Simulator.Montecarlo.version_population rng space ~count:27 in
+  Alcotest.(check int) "27 versions" 27
+    (Array.length pop.Simulator.Montecarlo.version_pfds);
+  Alcotest.(check int) "351 pairs" 351
+    (Array.length pop.Simulator.Montecarlo.pair_pfds);
+  let mean_ratio, std_ratio = Simulator.Montecarlo.knight_leveson_shape pop in
+  Alcotest.(check bool) "pair mean below version mean" true (mean_ratio < 1.0);
+  Alcotest.(check bool) "pair std below version std" true (std_ratio < 1.0)
+
+let test_empirical_system_pfd () =
+  let rng = rng0 () in
+  let space = make_space () in
+  let u = Demandspace.Space.to_universe space in
+  let emp =
+    Simulator.Montecarlo.empirical_system_pfd rng space ~replications:300
+      ~demands_per_system:2000
+  in
+  check_close ~eps:0.01 "full-stack pfd near mu2" (Core.Moments.mu2 u) emp
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "devteam",
+        [
+          Alcotest.test_case "fault frequencies" `Slow test_devteam_frequencies;
+          Alcotest.test_case "version pfd mean" `Slow test_devteam_version_pfd;
+          Alcotest.test_case "pair pfd mean" `Slow test_devteam_pair_pfd;
+          Alcotest.test_case "develop" `Quick test_devteam_develop;
+        ] );
+      ( "channel-adjudicator",
+        [
+          Alcotest.test_case "channel respond" `Quick test_channel_respond;
+          Alcotest.test_case "adjudicator truth table" `Quick
+            test_adjudicator_truth_table;
+          Alcotest.test_case "protection pfd" `Quick test_protection_pfd;
+          Alcotest.test_case "three channels" `Quick test_protection_three_channels;
+        ] );
+      ( "plant-runner",
+        [
+          Alcotest.test_case "plant idle rate" `Slow test_plant_idle_rate;
+          Alcotest.test_case "runner empirical pfd" `Slow test_runner_empirical_pfd;
+          Alcotest.test_case "coincident failures" `Quick test_runner_coincident;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "estimate matches analytic" `Slow test_montecarlo_estimate;
+          Alcotest.test_case "sigma matches" `Slow test_montecarlo_sigma;
+          Alcotest.test_case "version population" `Quick test_version_population;
+          Alcotest.test_case "full-stack pfd" `Slow test_empirical_system_pfd;
+        ] );
+    ]
