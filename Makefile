@@ -1,0 +1,21 @@
+.PHONY: all build lint test check clean
+
+all: build
+
+build:
+	dune build
+
+lint:
+	dune build @lint
+
+test:
+	dune runtest
+
+# The single-command gate CI should run (equivalently: dune build @ci).
+check:
+	dune build @lint
+	dune build
+	dune runtest
+
+clean:
+	dune clean

@@ -125,7 +125,7 @@ let run_tables () =
   print_endline
     "================ paper artefact reproduction (all tables & figures) \
      ================";
-  Experiments.Registry.run_all ~seed ()
+  print_string (Experiments.Registry.render_all ~seed ())
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in

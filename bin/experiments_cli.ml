@@ -40,7 +40,7 @@ let run_cmd =
     setup_logs ();
     match Experiments.Registry.find id with
     | Some e ->
-        Experiments.Experiment.run_and_print ~seed e;
+        print_string (Experiments.Experiment.render ~seed e);
         `Ok ()
     | None ->
         `Error
@@ -55,7 +55,7 @@ let run_cmd =
 let all_cmd =
   let run seed =
     setup_logs ();
-    Experiments.Registry.run_all ~seed ()
+    print_string (Experiments.Registry.render_all ~seed ())
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in order")

@@ -35,7 +35,7 @@ let break_even_factor u =
      bounds above by pmax: a single version must beat the process's worst
      fault probability to match diversity on averages. *)
   let m1 = Core.Moments.mu1 u in
-  if m1 = 0.0 then nan else Core.Moments.mu2 u /. m1
+  if Numerics.Stats.is_zero m1 then nan else Core.Moments.mu2 u /. m1
 
 let sweep u ~k ~factors =
   Array.map (fun f -> compare_at u ~improvement_factor:f ~k) factors

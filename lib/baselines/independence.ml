@@ -6,14 +6,14 @@ let predicted_mu2 u =
 
 let underestimation_factor u =
   let indep = predicted_mu2 u in
-  if indep = 0.0 then nan else Core.Moments.mu2 u /. indep
+  if Numerics.Stats.is_zero indep then nan else Core.Moments.mu2 u /. indep
 
 let model_gain u =
   let m2 = Core.Moments.mu2 u in
-  if m2 = 0.0 then infinity else Core.Moments.mu1 u /. m2
+  if Numerics.Stats.is_zero m2 then infinity else Core.Moments.mu1 u /. m2
 
 let independence_gain u =
   let m1 = Core.Moments.mu1 u in
-  if m1 = 0.0 then infinity else 1.0 /. m1
+  if Numerics.Stats.is_zero m1 then infinity else 1.0 /. m1
 
 let eq4_beats_independence u = Core.Universe.pmax u <= Core.Moments.mu1 u

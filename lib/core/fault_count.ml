@@ -31,11 +31,11 @@ let p_nk_pos u ~channels =
 
 let risk_ratio u =
   let denom = p_n1_pos u in
-  if denom = 0.0 then nan else p_n2_pos u /. denom
+  if Stats.is_zero denom then nan else p_n2_pos u /. denom
 
 let risk_ratio_of_ps ps =
   let denom = prob_some ps in
-  if denom = 0.0 then nan else prob_some (squared ps) /. denom
+  if Stats.is_zero denom then nan else prob_some (squared ps) /. denom
 
 let success_ratio u =
   (* Footnote 5: P(N2=0)/P(N1=0) = prod (1+p_i) >= 1. *)

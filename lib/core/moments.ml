@@ -42,7 +42,7 @@ let expected_common_fault_count u =
 
 let mean_gain u =
   let m2 = mu2 u in
-  if m2 = 0.0 then infinity else mu1 u /. m2
+  if Stats.is_zero m2 then infinity else mu1 u /. m2
 
 type t = { mu1 : float; mu2 : float; sigma1 : float; sigma2 : float }
 

@@ -16,7 +16,7 @@ let bound_at_confidence u ~confidence =
 
 let bound_ratio u ~k =
   let s = single_bound u ~k in
-  if s = 0.0 then nan else pair_bound u ~k /. s
+  if Stats.is_zero s then nan else pair_bound u ~k /. s
 
 let bound_difference u ~k = single_bound u ~k -. pair_bound u ~k
 
@@ -56,7 +56,7 @@ let normality_ks_distance u =
      moment-matched normal: the experiment E15 metric. *)
   let dist = Pfd_dist.single u in
   let mu = Pfd_dist.mean dist and sigma = Pfd_dist.std dist in
-  if sigma = 0.0 then 1.0
+  if Stats.is_zero sigma then 1.0
   else
     let lo = mu -. (6.0 *. sigma) and hi = mu +. (6.0 *. sigma) in
     Ks.distance_between_cdfs

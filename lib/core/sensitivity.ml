@@ -12,7 +12,7 @@ let prod_except_squared ps i =
 
 let risk_ratio_partial ps i =
   let s1 = Fault_count.prob_some ps in
-  if s1 = 0.0 then nan
+  if Stats.is_zero s1 then nan
   else
     let s2 = Fault_count.prob_some (Array.map (fun p -> p *. p) ps) in
     let ds1 = prod_except_one ps i in
@@ -49,8 +49,8 @@ let stationary_point ps i ~lo ~hi =
     risk_ratio_partial ps' i
   in
   let flo = f lo and fhi = f hi in
-  if flo = 0.0 then Some lo
-  else if fhi = 0.0 then Some hi
+  if flo = 0.0 then Some lo (* divlint: allow float-eq *)
+  else if fhi = 0.0 then Some hi (* divlint: allow float-eq *)
   else if flo *. fhi > 0.0 then None
   else Some (Rootfind.brent f ~lo ~hi)
 

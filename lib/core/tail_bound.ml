@@ -48,7 +48,7 @@ let hoeffding_sf_of_vectors ~probs ~values x =
     let denom =
       Kahan.sum_over (Array.length values) (fun i -> values.(i) *. values.(i))
     in
-    if denom = 0.0 then 0.0 else exp (-2.0 *. t *. t /. denom)
+    if Stats.is_zero denom then 0.0 else exp (-2.0 *. t *. t /. denom)
 
 let hoeffding_sf_single u x =
   hoeffding_sf_of_vectors ~probs:(Universe.ps u) ~values:(Universe.qs u) x

@@ -45,7 +45,7 @@ let p_some_system_fault t u =
 
 let risk_ratio_vs_single t u =
   let denom = Fault_count.p_n1_pos u in
-  if denom = 0.0 then nan else p_some_system_fault t u /. denom
+  if Stats.is_zero denom then nan else p_some_system_fault t u /. denom
 
 let pfd_dist t u =
   Pfd_dist.exact_of_vectors ~probs:(system_fault_probs t u)

@@ -1,0 +1,3 @@
+(** E01 — reproduces Section 5.1 table. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E02 — reproduces Section 5.1 worked example. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E03 — reproduces Section 4.1, eq. (10). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E04 — reproduces Section 4.2.1, Appendix A. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E05 — reproduces Section 4.2.2, Appendix B. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

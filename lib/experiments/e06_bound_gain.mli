@@ -1,0 +1,3 @@
+(** E06 — reproduces Section 5.1, eqs. (11)-(12). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

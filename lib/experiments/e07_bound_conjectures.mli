@@ -1,0 +1,3 @@
+(** E07 — reproduces Section 5.2. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

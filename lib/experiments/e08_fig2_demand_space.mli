@@ -1,0 +1,3 @@
+(** E08 — reproduces Fig. 2, Section 2.1. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E09 — reproduces Section 7 (Knight-Leveson check). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

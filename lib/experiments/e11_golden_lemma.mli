@@ -1,0 +1,3 @@
+(** E11 — reproduces Section 3.1.2, eq. (9). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E13 — reproduces Section 6.2. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

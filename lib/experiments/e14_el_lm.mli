@@ -1,0 +1,3 @@
+(** E14 — reproduces Section 2.2 (EL [3], LM [4]). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E15 — reproduces Sections 3, 5, 7 (CLT argument). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

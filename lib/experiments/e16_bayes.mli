@@ -1,0 +1,3 @@
+(** E16 — reproduces Section 7 conclusions, ref [14]. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E17 — reproduces Section 3.1.1 remark. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E18 — reproduces Section 1 (Hatton [1], refs [6][7]). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

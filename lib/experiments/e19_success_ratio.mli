@@ -1,0 +1,3 @@
+(** E19 — reproduces Section 4.1, footnote 5. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E20 — reproduces extension of Sections 3-5. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E21 — reproduces Section 1 (forced diversity), LM [4]. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E22 — reproduces extension (Fig. 1 generalised). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

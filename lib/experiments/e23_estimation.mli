@@ -1,0 +1,3 @@
+(** E23 — reproduces Section 3.1.1 (empirical programme). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

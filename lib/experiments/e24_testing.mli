@@ -1,0 +1,3 @@
+(** E24 — reproduces Section 4.2.3, ref [13]. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E25 — reproduces Section 7 conclusions. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E26 — reproduces Section 3 (variance made observable). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

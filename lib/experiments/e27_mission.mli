@@ -1,0 +1,3 @@
+(** E27 — reproduces operational view of Fig. 1. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

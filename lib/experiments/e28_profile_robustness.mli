@@ -1,0 +1,3 @@
+(** E28 — reproduces Section 2.1 (unknown profile). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

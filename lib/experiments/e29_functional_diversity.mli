@@ -1,0 +1,3 @@
+(** E29 — reproduces Fig. 1 caption, ref [8]. Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

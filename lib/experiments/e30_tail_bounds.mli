@@ -1,0 +1,3 @@
+(** E30 — reproduces Section 5 (alternative to the CLT). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E31 — reproduces Section 5 practice (assessment). Only the registered artefact is exposed; run it through [Registry] or the experiments CLI. *)
+
+val experiment : Experiment.t

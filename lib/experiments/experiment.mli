@@ -26,4 +26,8 @@ val output :
   output
 
 val render_output : output -> string
-val run_and_print : ?seed:int -> t -> unit
+
+val render : ?seed:int -> t -> string
+(** Run the experiment and render it (header plus {!render_output}) as a
+    string. Printing is left to the caller: lib code must stay free of
+    output side effects (divlint rule R5). *)

@@ -40,4 +40,5 @@ let find id =
 
 let ids () = List.map (fun e -> e.Experiment.id) all
 
-let run_all ?seed () = List.iter (Experiment.run_and_print ?seed) all
+let render_all ?seed () =
+  String.concat "" (List.map (Experiment.render ?seed) all)

@@ -8,5 +8,6 @@ val find : string -> Experiment.t option
 
 val ids : unit -> string list
 
-val run_all : ?seed:int -> unit -> unit
-(** Run and print every experiment (the bench harness's table pass). *)
+val render_all : ?seed:int -> unit -> string
+(** Run every experiment and render the concatenated reports (the bench
+    harness's table pass). The caller prints. *)

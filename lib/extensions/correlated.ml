@@ -158,7 +158,7 @@ let p_n2_pos t = 1.0 -. p_n2_zero t
 
 let risk_ratio t =
   let denom = p_n1_pos t in
-  if denom = 0.0 then nan else p_n2_pos t /. denom
+  if Stats.is_zero denom then nan else p_n2_pos t /. denom
 
 let sample_version rng t =
   let present = ref [] in

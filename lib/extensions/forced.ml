@@ -49,7 +49,7 @@ let p_no_common_fault t =
 let risk_ratio_vs_a t =
   (* P(pair shares a fault) / P(channel-A version has a fault). *)
   let denom = Core.Fault_count.prob_some t.pa in
-  if denom = 0.0 then nan
+  if Stats.is_zero denom then nan
   else
     Core.Fault_count.prob_some (Array.init (size t) (fun i -> t.pa.(i) *. t.pb.(i)))
     /. denom
@@ -59,7 +59,7 @@ let divergence_gain t =
      alone: ratio of mean pair PFDs. Values > 1 mean forcing helped. *)
   let non_forced = Core.Moments.mu2 (channel_a t) in
   let forced = mu_pair t in
-  if forced = 0.0 then infinity else non_forced /. forced
+  if Stats.is_zero forced then infinity else non_forced /. forced
 
 let complementary rng u ~strength =
   (* Channel B's process is derived from A's by redistributing weakness:

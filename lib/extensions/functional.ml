@@ -33,7 +33,7 @@ let mean_pair t =
 let functional_gain t =
   let worst = mean_pair (non_functional t.space) in
   let actual = mean_pair t in
-  if actual = 0.0 then infinity else worst /. actual
+  if Stats.is_zero actual then infinity else worst /. actual
 
 let pair_pfd_of_versions t va vb =
   (* Concrete developed pair: the system fails on x iff A's version fails

@@ -42,8 +42,8 @@ let regularized ~a ~b x =
     invalid_arg "Betainc.regularized: shapes must be positive";
   if Float.is_nan x || x < 0.0 || x > 1.0 then
     invalid_arg "Betainc.regularized: x outside [0, 1]";
-  if x = 0.0 then 0.0
-  else if x = 1.0 then 1.0
+  if x = 0.0 then 0.0 (* divlint: allow float-eq *)
+  else if x = 1.0 then 1.0 (* divlint: allow float-eq *)
   else
     let front =
       exp
@@ -58,8 +58,8 @@ let beta_cdf ~a ~b x = regularized ~a ~b (max 0.0 (min 1.0 x))
 
 let beta_ppf ~a ~b p =
   if p < 0.0 || p > 1.0 then invalid_arg "Betainc.beta_ppf: p outside [0, 1]";
-  if p = 0.0 then 0.0
-  else if p = 1.0 then 1.0
+  if p = 0.0 then 0.0 (* divlint: allow float-eq *)
+  else if p = 1.0 then 1.0 (* divlint: allow float-eq *)
   else Rootfind.bisect ~tol:1e-14 (fun x -> regularized ~a ~b x -. p) ~lo:0.0 ~hi:1.0
 
 let beta_mean ~a ~b = a /. (a +. b)
@@ -69,8 +69,8 @@ let binomial_cdf ~n ~p k =
   if p < 0.0 || p > 1.0 then invalid_arg "Betainc.binomial_cdf: p outside [0, 1]";
   if k < 0 then 0.0
   else if k >= n then 1.0
-  else if p = 0.0 then 1.0
-  else if p = 1.0 then 0.0
+  else if p = 0.0 then 1.0 (* divlint: allow float-eq *)
+  else if p = 1.0 then 0.0 (* divlint: allow float-eq *)
   else
     (* P(X <= k) = I_{1-p}(n-k, k+1) *)
     regularized ~a:(float_of_int (n - k)) ~b:(float_of_int (k + 1)) (1.0 -. p)
@@ -82,8 +82,8 @@ let binomial_tail_direct ~n ~p k =
      binomial_sf and the evaluator used for small n in the voting model. *)
   if k <= 0 then 1.0
   else if k > n then 0.0
-  else if p = 0.0 then 0.0
-  else if p = 1.0 then 1.0
+  else if p = 0.0 then 0.0 (* divlint: allow float-eq *)
+  else if p = 1.0 then 1.0 (* divlint: allow float-eq *)
   else
     Kahan.sum_over
       (n - k + 1)

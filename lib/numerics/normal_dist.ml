@@ -72,6 +72,6 @@ let sample rng ?(mu = 0.0) ?(sigma = 1.0) () =
     let u = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 in
     let v = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 in
     let s = (u *. u) +. (v *. v) in
-    if s >= 1.0 || s = 0.0 then loop () else u *. sqrt (-2.0 *. log s /. s)
+    if s >= 1.0 || Stats.is_zero s then loop () else u *. sqrt (-2.0 *. log s /. s)
   in
   mu +. (sigma *. loop ())

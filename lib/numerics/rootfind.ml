@@ -3,8 +3,8 @@ let default_max_iter = 200
 
 let bisect ?(tol = default_tol) ?(max_iter = default_max_iter) f ~lo ~hi =
   let flo = f lo and fhi = f hi in
-  if flo = 0.0 then lo
-  else if fhi = 0.0 then hi
+  if flo = 0.0 then lo (* divlint: allow float-eq *)
+  else if fhi = 0.0 then hi (* divlint: allow float-eq *)
   else if flo *. fhi > 0.0 then
     invalid_arg "Rootfind.bisect: no sign change over the bracket"
   else
@@ -13,7 +13,7 @@ let bisect ?(tol = default_tol) ?(max_iter = default_max_iter) f ~lo ~hi =
       if hi -. lo < tol || iter >= max_iter then mid
       else
         let fmid = f mid in
-        if fmid = 0.0 then mid
+        if fmid = 0.0 then mid (* divlint: allow float-eq *)
         else if flo *. fmid < 0.0 then loop lo mid flo (iter + 1)
         else loop mid hi fmid (iter + 1)
     in
@@ -23,8 +23,8 @@ let bisect ?(tol = default_tol) ?(max_iter = default_max_iter) f ~lo ~hi =
 let brent ?(tol = default_tol) ?(max_iter = default_max_iter) f ~lo ~hi =
   let a = ref lo and b = ref hi in
   let fa = ref (f lo) and fb = ref (f hi) in
-  if !fa = 0.0 then !a
-  else if !fb = 0.0 then !b
+  if !fa = 0.0 then !a (* divlint: allow float-eq *)
+  else if !fb = 0.0 then !b (* divlint: allow float-eq *)
   else if !fa *. !fb > 0.0 then
     invalid_arg "Rootfind.brent: no sign change over the bracket"
   else begin

@@ -20,7 +20,7 @@ let erf_series x =
 let erfc_cf x =
   let tiny = 1e-300 in
   let b0 = x in
-  let f = ref (if b0 = 0.0 then tiny else b0) in
+  let f = ref (if abs_float b0 < tiny then tiny else b0) in
   let c = ref !f in
   let d = ref 0.0 in
   let continue_ = ref true in
@@ -29,9 +29,9 @@ let erfc_cf x =
     let a = float_of_int !m /. 2.0 in
     (* every partial denominator is x *)
     d := x +. (a *. !d);
-    if !d = 0.0 then d := tiny;
+    if abs_float !d < tiny then d := tiny;
     c := x +. (a /. !c);
-    if !c = 0.0 then c := tiny;
+    if abs_float !c < tiny then c := tiny;
     d := 1.0 /. !d;
     let delta = !c *. !d in
     f := !f *. delta;

@@ -7,6 +7,12 @@ type summary = {
   max : float;
 }
 
+let approx_eq ?(rel = 1e-9) ?(abs = 1e-12) a b =
+  let diff = abs_float (a -. b) in
+  diff <= abs || diff <= rel *. Float.max (abs_float a) (abs_float b)
+
+let is_zero ?(eps = Float.min_float) x = abs_float x <= eps
+
 let mean a =
   let n = Array.length a in
   if n = 0 then invalid_arg "Stats.mean: empty array";
@@ -40,7 +46,7 @@ let covariance a b =
 let correlation a b =
   let c = covariance a b in
   let sa = std a and sb = std b in
-  if sa = 0.0 || sb = 0.0 then 0.0 else c /. (sa *. sb)
+  if is_zero sa || is_zero sb then 0.0 else c /. (sa *. sb)
 
 let quantile_sorted sorted p =
   let n = Array.length sorted in

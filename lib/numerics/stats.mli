@@ -13,6 +13,19 @@ type summary = {
   max : float;
 }
 
+val approx_eq : ?rel:float -> ?abs:float -> float -> float -> bool
+(** Tolerant float equality: true when the operands differ by at most [abs]
+    (default 1e-12) absolutely or [rel] (default 1e-9) relatively. False
+    whenever either operand is NaN. This is the comparison divlint rule R1
+    points at in place of exact [=] on floats. *)
+
+val is_zero : ?eps:float -> float -> bool
+(** [is_zero x] is true when [|x| <= eps]. The default [eps] is the
+    smallest positive {e normal} float, so it accepts exact zeros and
+    subnormals — exactly the values that make a division overflow or go
+    undefined — while never swallowing a legitimately small probability.
+    Intended as the guard before dividing by [x]. *)
+
 val mean : float array -> float
 (** Compensated mean. Raises [Invalid_argument] on empty input. *)
 

@@ -5,10 +5,7 @@ type mission_outcome = Failed_at of int | Survived
 let time_to_first_failure rng ~system ~max_demands =
   if max_demands <= 0 then
     invalid_arg "Campaign.time_to_first_failure: max_demands must be positive";
-  let channels = Protection.channels system in
-  let space =
-    Demandspace.Version.space (Channel.version (List.hd channels))
-  in
+  let space = Protection.space system in
   let plant = Plant.create ~profile:(Demandspace.Space.profile space) rng in
   let rec step t =
     if t > max_demands then Survived

@@ -15,6 +15,11 @@ let channels t = t.channels
 let channel_count t = List.length t.channels
 let adjudicator t = t.adjudicator
 
+let space t =
+  match t.channels with
+  | [] -> assert false (* create forbids the empty channel list *)
+  | first :: _ -> Demandspace.Version.space (Channel.version first)
+
 let respond t demand =
   Adjudicator.combine t.adjudicator
     (List.map (fun c -> Channel.respond c demand) t.channels)
@@ -22,21 +27,18 @@ let respond t demand =
 let fails_on t demand = respond t demand = Channel.No_action
 
 let true_pfd t =
-  match t.channels with
-  | [] -> assert false
-  | first :: _ ->
-      (* Exact: count, demand by demand, whether enough channels survive.
-         (For the 1-out-of-N adjudicator this is the intersection of the
-         channels' failure sets.) *)
-      let space = Demandspace.Version.space (Channel.version first) in
-      let profile = Demandspace.Space.profile space in
-      let acc = ref 0.0 in
-      for d = 0 to Demandspace.Space.size space - 1 do
-        let demand = Demandspace.Demand.of_int d in
-        if fails_on t demand then
-          acc := !acc +. Demandspace.Profile.probability profile demand
-      done;
-      !acc
+  (* Exact: count, demand by demand, whether enough channels survive.
+     (For the 1-out-of-N adjudicator this is the intersection of the
+     channels' failure sets.) *)
+  let space = space t in
+  let profile = Demandspace.Space.profile space in
+  let acc = Numerics.Kahan.create () in
+  for d = 0 to Demandspace.Space.size space - 1 do
+    let demand = Demandspace.Demand.of_int d in
+    if fails_on t demand then
+      Numerics.Kahan.add acc (Demandspace.Profile.probability profile demand)
+  done;
+  Numerics.Kahan.total acc
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>protection system: %a@,%a@]" Adjudicator.pp t.adjudicator

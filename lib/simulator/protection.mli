@@ -20,6 +20,10 @@ val channels : t -> Channel.t list
 val channel_count : t -> int
 val adjudicator : t -> Adjudicator.t
 
+val space : t -> Demandspace.Space.t
+(** The demand space all channels operate over (taken from the first
+    channel; [create] guarantees at least one). *)
+
 val respond : t -> Demandspace.Demand.t -> Channel.output
 (** System output on a demand. *)
 

@@ -16,9 +16,7 @@ let run ?(log = false) rng ~system ~demand_count =
   let channel_failures = Array.make n_channels 0 in
   let system_failures = ref 0 in
   let coincident = ref 0 in
-  let space =
-    Demandspace.Version.space (Channel.version (List.hd channels))
-  in
+  let space = Protection.space system in
   let plant = Plant.create ~profile:(Demandspace.Space.profile space) rng in
   for step = 1 to demand_count do
     let demand = Plant.next_demand plant in

@@ -54,13 +54,14 @@ let record t ~failed =
 let demands_observed t = t.demands
 let failures_observed t = t.failures
 let log_likelihood_ratio t = t.log_lr
+let theta0 t = t.theta0
+let theta1 t = t.theta1
 
 let run rng ~system ~theta0 ~theta1 ~alpha ~beta ~max_demands =
   if max_demands <= 0 then
     invalid_arg "Sprt.run: max_demands must be positive";
   let t = create ~theta0 ~theta1 ~alpha ~beta in
-  let channels = Protection.channels system in
-  let space = Demandspace.Version.space (Channel.version (List.hd channels)) in
+  let space = Protection.space system in
   let plant = Plant.create ~profile:(Demandspace.Space.profile space) rng in
   let rec loop () =
     if t.demands >= max_demands then (Continue, t)

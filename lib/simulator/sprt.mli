@@ -28,6 +28,12 @@ val demands_observed : t -> int
 val failures_observed : t -> int
 val log_likelihood_ratio : t -> float
 
+val theta0 : t -> float
+(** The acceptable PFD the test state was created with. *)
+
+val theta1 : t -> float
+(** The rejectable PFD the test state was created with. *)
+
 val run :
   Numerics.Rng.t ->
   system:Protection.t ->

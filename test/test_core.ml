@@ -612,7 +612,7 @@ let prop_quantile_cdf_consistency =
       Core.Pfd_dist.cdf d x >= alpha -. 1e-12)
 
 let props =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_risk_ratio_le_one;
       prop_mu2_le_pmax_mu1;

@@ -290,7 +290,7 @@ let prop_version_additive_ge_pfd =
       Version.additive_pfd v >= Version.pfd v -. 1e-12)
 
 let props =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [ prop_profile_normalised; prop_version_additive_ge_pfd ]
 
 let () =

@@ -127,6 +127,22 @@ let test_correlated_pair_mc () =
   check_close ~eps:0.002 "MC pair mean = mu2" (Extensions.Correlated.mu2 m)
     (Numerics.Welford.mean pair_acc)
 
+let test_correlated_fault_free_risk_ratio () =
+  (* Zero-denominator path: a process that can introduce no fault has
+     P(N1 > 0) = 0, so the eq. (10) ratio is undefined — the guard must
+     return nan rather than dividing by (near-)zero. *)
+  let m =
+    Extensions.Correlated.create
+      [|
+        { Extensions.Correlated.shock_prob = 0.3;
+          faults = [| (0.0, 0.0, 0.1); (0.0, 0.0, 0.2) |] };
+      |]
+  in
+  check_close ~eps:0.0 "P(N1>0) is exactly zero" 0.0
+    (Extensions.Correlated.p_n1_pos m);
+  Alcotest.(check bool) "risk ratio is nan, not a division blow-up" true
+    (Float.is_nan (Extensions.Correlated.risk_ratio m))
+
 let test_correlated_validation () =
   Alcotest.(check bool) "lift too large raises" true
     (try
@@ -314,6 +330,8 @@ let () =
             test_correlated_analytic_vs_monte_carlo;
           Alcotest.test_case "analytic vs MC (pair)" `Slow test_correlated_pair_mc;
           Alcotest.test_case "validation" `Quick test_correlated_validation;
+          Alcotest.test_case "fault-free risk ratio" `Quick
+            test_correlated_fault_free_risk_ratio;
         ] );
       ( "overlap",
         [

@@ -101,6 +101,19 @@ let test_functional_hand_computed () =
     (Extensions.Functional.mean_pair model
     < Extensions.Functional.mean_pair (Extensions.Functional.non_functional space))
 
+let test_functional_gain_zero_denominator () =
+  (* Zero-denominator path: with no failure region at all the actual pair
+     mean is exactly zero and the gain must come back as infinity (the
+     transform removes every coincident failure), not as a 0/0 nan. *)
+  let profile = Demandspace.Profile.uniform ~size:10 in
+  let r = Demandspace.Region.interval ~space_size:10 ~lo:0 ~hi:4 in
+  let space = Demandspace.Space.create ~profile ~faults:[| (r, 0.0) |] in
+  let model = Extensions.Functional.non_functional space in
+  check_close ~eps:0.0 "pair mean is exactly zero" 0.0
+    (Extensions.Functional.mean_pair model);
+  Alcotest.(check bool) "gain guard returns infinity" true
+    (Extensions.Functional.functional_gain model = infinity)
+
 let test_functional_concrete_pair () =
   let space = make_space () in
   let forward = Array.init 100 (fun i -> i) in
@@ -245,6 +258,8 @@ let () =
             test_functional_identity_is_worst_case;
           Alcotest.test_case "hand computed" `Quick test_functional_hand_computed;
           Alcotest.test_case "concrete pair" `Quick test_functional_concrete_pair;
+          Alcotest.test_case "zero-denominator gain" `Quick
+            test_functional_gain_zero_denominator;
           Alcotest.test_case "monte carlo" `Slow test_functional_monte_carlo_matches;
           Alcotest.test_case "continuum trend" `Quick
             test_functional_continuum_monotone_trend;

@@ -1,0 +1,162 @@
+(* divlint against its fixture corpus: each rule on known-bad and
+   known-clean snippets, rule scoping by path, suppression comments, and
+   the CLI's exit code / JSON output. *)
+
+module E = Divlint_lib.Engine
+
+let fixtures_dir = "../tools/lint/fixtures"
+let fixture name = Filename.concat fixtures_dir name
+
+let lines_of rule findings =
+  List.filter_map
+    (fun f -> if f.E.rule = rule then Some f.E.line else None)
+    findings
+
+let count rule findings = List.length (lines_of rule findings)
+
+let check_lines = Alcotest.(check (list int))
+let check_int = Alcotest.(check int)
+
+(* ---- R1 ---- *)
+
+let test_float_eq () =
+  let fs = E.lint_file (fixture "bad_float_eq.ml") in
+  check_lines "R1 lines" [ 3; 4; 5 ] (lines_of E.Float_eq fs);
+  check_int "nothing else" 3 (List.length fs)
+
+(* ---- R2 ---- *)
+
+let test_random () =
+  let fs = E.lint_file (fixture "bad_random.ml") in
+  check_lines "R2 lines" [ 3; 4; 5 ] (lines_of E.Random_use fs);
+  let exempt =
+    E.lint_file ~relpath:"lib/numerics/rng.ml" (fixture "bad_random.ml")
+  in
+  check_int "rng.ml is exempt" 0 (count E.Random_use exempt)
+
+(* ---- R3 ---- *)
+
+let test_float_sum () =
+  let fs = E.lint_file (fixture "bad_float_sum.ml") in
+  check_lines "R3 lines" [ 3; 4; 5 ] (lines_of E.Float_sum fs);
+  check_int "int fold not flagged" 3 (List.length fs)
+
+(* ---- R4 ---- *)
+
+let test_missing_mli () =
+  let bad =
+    E.lint_file ~relpath:"lib/core/bad_no_mli.ml" (fixture "bad_no_mli.ml")
+  in
+  check_int "missing mli flagged" 1 (count E.Missing_mli bad);
+  let with_mli =
+    E.lint_file ~relpath:"lib/core/clean.ml" (fixture "clean.ml")
+  in
+  check_int "present mli accepted" 0 (count E.Missing_mli with_mli);
+  let outside_lib = E.lint_file (fixture "bad_no_mli.ml") in
+  check_int "R4 is lib-only" 0 (count E.Missing_mli outside_lib)
+
+(* ---- R5 ---- *)
+
+let test_print () =
+  let in_lib =
+    E.lint_file ~relpath:"lib/core/bad_print.ml" (fixture "bad_print.ml")
+  in
+  check_lines "R5 lines" [ 3; 4; 5 ] (lines_of E.Print_effect in_lib);
+  let in_report =
+    E.lint_file ~relpath:"lib/report/bad_print.ml" (fixture "bad_print.ml")
+  in
+  check_int "lib/report may print" 0 (count E.Print_effect in_report);
+  let outside_lib = E.lint_file (fixture "bad_print.ml") in
+  check_int "R5 is lib-only" 0 (count E.Print_effect outside_lib)
+
+(* ---- R6 ---- *)
+
+let test_partial () =
+  let in_lib =
+    E.lint_file ~relpath:"lib/core/bad_partial.ml" (fixture "bad_partial.ml")
+  in
+  check_lines "R6 lines" [ 3; 4; 5 ] (lines_of E.Partial_fun in_lib);
+  let outside_lib = E.lint_file (fixture "bad_partial.ml") in
+  check_int "R6 is lib-only" 0 (count E.Partial_fun outside_lib)
+
+(* ---- clean corpus ---- *)
+
+let test_clean () =
+  let fs = E.lint_file ~relpath:"lib/core/clean.ml" (fixture "clean.ml") in
+  check_int "clean file has no findings" 0 (List.length fs)
+
+(* ---- suppressions ---- *)
+
+let test_suppressions () =
+  let fs = E.lint_file (fixture "suppressed.ml") in
+  check_lines "only the unsuppressed site survives" [ 15 ]
+    (List.map (fun f -> f.E.line) fs);
+  check_int "and it is R1" 1 (count E.Float_eq fs)
+
+(* ---- rendering ---- *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_rendering () =
+  let fs = E.lint_file (fixture "bad_float_eq.ml") in
+  let text =
+    match fs with f :: _ -> E.render_finding f | [] -> Alcotest.fail "no findings"
+  in
+  Alcotest.(check bool)
+    "text leads with file:line:col and rule tag" true
+    (contains "bad_float_eq.ml:3:" text && contains "[R1 float-eq]" text);
+  let json = E.render_json fs in
+  Alcotest.(check bool) "json has rule ids" true (contains "\"rule\":\"R1\"" json);
+  Alcotest.(check bool) "json has slugs" true (contains "\"slug\":\"float-eq\"" json);
+  Alcotest.(check bool) "json has lines" true (contains "\"line\":3" json)
+
+(* ---- rule token parsing ---- *)
+
+let test_rule_tokens () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        ("id round-trips: " ^ E.rule_id r)
+        true
+        (E.rule_of_token (E.rule_id r) = Some r
+        && E.rule_of_token (E.rule_slug r) = Some r))
+    E.all_rules;
+  Alcotest.(check bool) "unknown token" true (E.rule_of_token "bogus" = None)
+
+(* ---- the executable: exit codes over the corpus ---- *)
+
+let divlint_exe = "../tools/lint/divlint.exe"
+
+let run_divlint args =
+  Sys.command (Filename.quote_command divlint_exe args ~stdout:"/dev/null")
+
+let test_exit_codes () =
+  check_int "known-bad corpus exits 1" 1
+    (run_divlint [ fixture "bad_float_eq.ml" ]);
+  check_int "clean file exits 0" 0 (run_divlint [ fixture "clean.ml" ])
+
+let () =
+  Alcotest.run "divlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 float-eq" `Quick test_float_eq;
+          Alcotest.test_case "R2 random" `Quick test_random;
+          Alcotest.test_case "R3 float-sum" `Quick test_float_sum;
+          Alcotest.test_case "R4 missing-mli" `Quick test_missing_mli;
+          Alcotest.test_case "R5 print" `Quick test_print;
+          Alcotest.test_case "R6 partial" `Quick test_partial;
+          Alcotest.test_case "clean corpus" `Quick test_clean;
+        ] );
+      ( "suppressions",
+        [ Alcotest.test_case "comment handling" `Quick test_suppressions ] );
+      ( "output",
+        [
+          Alcotest.test_case "text and json" `Quick test_rendering;
+          Alcotest.test_case "rule tokens" `Quick test_rule_tokens;
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+        ] );
+    ]

@@ -244,6 +244,28 @@ let test_normal_invalid_args () =
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let test_stats_approx_eq () =
+  Alcotest.(check bool) "equal is approx-equal" true (Stats.approx_eq 1.0 1.0);
+  Alcotest.(check bool) "within absolute tolerance" true
+    (Stats.approx_eq 0.0 1e-13);
+  Alcotest.(check bool) "within relative tolerance" true
+    (Stats.approx_eq 1e9 (1e9 +. 0.5));
+  Alcotest.(check bool) "distinct values differ" false (Stats.approx_eq 1.0 1.1);
+  Alcotest.(check bool) "nan equals nothing" false (Stats.approx_eq nan nan);
+  Alcotest.(check bool) "0.1+0.2 ~ 0.3 (the R1 poster child)" true
+    (Stats.approx_eq (0.1 +. 0.2) 0.3)
+
+let test_stats_is_zero () =
+  Alcotest.(check bool) "exact zero" true (Stats.is_zero 0.0);
+  Alcotest.(check bool) "negative zero" true (Stats.is_zero (-0.0));
+  Alcotest.(check bool) "subnormals count as zero" true (Stats.is_zero 1e-310);
+  Alcotest.(check bool) "smallest normal still zero" true
+    (Stats.is_zero Float.min_float);
+  Alcotest.(check bool) "a tiny probability is NOT zero" false
+    (Stats.is_zero 1e-300);
+  Alcotest.(check bool) "custom eps" true (Stats.is_zero ~eps:1e-6 1e-7);
+  Alcotest.(check bool) "nan is not zero" false (Stats.is_zero nan)
+
 let test_stats_mean_variance () =
   let a = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
   check_close "mean" 5.0 (Stats.mean a);
@@ -606,7 +628,7 @@ let prop_kahan_matches_naive_closely =
       abs_float (Kahan.sum_array a -. naive) < 1e-9)
 
 let props =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_quantile_monotone;
       prop_variance_nonnegative;
@@ -662,6 +684,8 @@ let () =
         ] );
       ( "stats",
         [
+          Alcotest.test_case "approx_eq" `Quick test_stats_approx_eq;
+          Alcotest.test_case "is_zero" `Quick test_stats_is_zero;
           Alcotest.test_case "mean/variance" `Quick test_stats_mean_variance;
           Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "quantiles" `Quick test_stats_quantiles;

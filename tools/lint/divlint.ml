@@ -1,0 +1,48 @@
+(* divlint command line: lint the given files/directories (default: the
+   repo's source trees) and exit 1 on any finding, 2 on parse errors. *)
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+
+let usage = "divlint [--json] [--rule R1,float-eq,...] [path ...]"
+
+let () =
+  let json = ref false in
+  let only_rules = ref [] in
+  let paths = ref [] in
+  let add_rules spec =
+    String.split_on_char ',' spec
+    |> List.iter (fun tok ->
+           match Divlint_lib.Engine.rule_of_token tok with
+           | Some r -> only_rules := r :: !only_rules
+           | None ->
+               prerr_endline ("divlint: unknown rule " ^ tok);
+               exit 2)
+  in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as a JSON array");
+      ( "--rule",
+        Arg.String add_rules,
+        "RULES comma-separated rule ids or slugs to enable (default: all)" );
+    ]
+  in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  let roots =
+    match List.rev !paths with
+    | [] -> List.filter Sys.file_exists default_roots
+    | ps -> ps
+  in
+  let findings, errors, scanned = Divlint_lib.Engine.lint_paths roots in
+  let findings =
+    match !only_rules with
+    | [] -> findings
+    | rules -> List.filter (fun f -> List.mem f.Divlint_lib.Engine.rule rules) findings
+  in
+  List.iter prerr_endline errors;
+  if !json then print_string (Divlint_lib.Engine.render_json findings)
+  else begin
+    print_string (Divlint_lib.Engine.render_text findings);
+    Printf.eprintf "divlint: %d finding(s) in %d file(s)\n"
+      (List.length findings) scanned
+  end;
+  if errors <> [] then exit 2 else if findings <> [] then exit 1

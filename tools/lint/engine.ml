@@ -1,0 +1,420 @@
+(* divlint — numerical-reliability static analysis for this repo.
+
+   Parses every .ml with compiler-libs and walks the Parsetree with
+   Ast_iterator, enforcing the project rules documented in README.md
+   ("Static analysis"). The checks are deliberately syntactic: they run
+   before type-checking, need no build context, and therefore work on any
+   parseable source file, including the known-bad fixture corpus. *)
+
+type rule =
+  | Float_eq (* R1: exact float (in)equality against a float literal *)
+  | Random_use (* R2: Stdlib.Random outside lib/numerics/rng.ml *)
+  | Float_sum (* R3: naive +. accumulation via fold_left *)
+  | Missing_mli (* R4: lib module without an interface file *)
+  | Print_effect (* R5: printing side effect in lib/ outside lib/report/ *)
+  | Partial_fun (* R6: partial function (List.hd / List.nth / Option.get) *)
+
+let all_rules =
+  [ Float_eq; Random_use; Float_sum; Missing_mli; Print_effect; Partial_fun ]
+
+let rule_id = function
+  | Float_eq -> "R1"
+  | Random_use -> "R2"
+  | Float_sum -> "R3"
+  | Missing_mli -> "R4"
+  | Print_effect -> "R5"
+  | Partial_fun -> "R6"
+
+let rule_slug = function
+  | Float_eq -> "float-eq"
+  | Random_use -> "random"
+  | Float_sum -> "float-sum"
+  | Missing_mli -> "missing-mli"
+  | Print_effect -> "print"
+  | Partial_fun -> "partial"
+
+let rule_of_token tok =
+  let tok = String.lowercase_ascii (String.trim tok) in
+  List.find_opt
+    (fun r ->
+      String.lowercase_ascii (rule_id r) = tok || rule_slug r = tok)
+    all_rules
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [(* divlint: allow float-eq *)] on a line suppresses matching findings
+   on that line; when the comment is the only thing on its line it
+   suppresses the following line instead. Several slugs (or rule ids, or
+   [all]) may be listed, separated by spaces or commas. *)
+
+type suppression = Allow_all | Allow of rule list
+
+let suppression_re =
+  Str.regexp
+    "(\\*[ \t]*divlint[ \t]*:[ \t]*allow[ \t]+\\([A-Za-z0-9, \t-]+\\)\\*)"
+
+let is_blank s = String.trim s = ""
+
+let parse_suppression_tokens text =
+  let tokens =
+    Str.split (Str.regexp "[ \t,]+") text
+    |> List.filter (fun t -> t <> "")
+  in
+  if List.exists (fun t -> String.lowercase_ascii t = "all") tokens then
+    Some Allow_all
+  else
+    match List.filter_map rule_of_token tokens with
+    | [] -> None
+    | rules -> Some (Allow rules)
+
+(* line number -> suppressions in force on that line *)
+let scan_suppressions source =
+  let tbl = Hashtbl.create 8 in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      match Str.search_forward suppression_re line 0 with
+      | exception Not_found -> ()
+      | start ->
+          let matched = Str.matched_string line in
+          let tokens = Str.matched_group 1 line in
+          (match parse_suppression_tokens tokens with
+          | None -> ()
+          | Some sup ->
+              let stop = start + String.length matched in
+              let before = String.sub line 0 start in
+              let after =
+                String.sub line stop (String.length line - stop)
+              in
+              let standalone = is_blank before && is_blank after in
+              let target = (i + 1) + if standalone then 1 else 0 in
+              Hashtbl.add tbl target sup))
+    lines;
+  tbl
+
+let suppressed tbl line rule =
+  List.exists
+    (function Allow_all -> true | Allow rules -> List.mem rule rules)
+    (Hashtbl.find_all tbl line)
+
+(* ------------------------------------------------------------------ *)
+(* Path classification                                                *)
+(* ------------------------------------------------------------------ *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+type ctx = {
+  relpath : string; (* path as reported, used for rule scoping *)
+  in_lib : bool;
+  in_report : bool;
+  is_rng : bool;
+}
+
+let make_ctx relpath =
+  {
+    relpath;
+    in_lib = has_prefix ~prefix:"lib/" relpath;
+    in_report = has_prefix ~prefix:"lib/report/" relpath;
+    is_rng = relpath = "lib/numerics/rng.ml";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let path_of_lid lid = String.concat "." (Longident.flatten lid)
+
+let normalize path =
+  if has_prefix ~prefix:"Stdlib." path then
+    String.sub path 7 (String.length path - 7)
+  else path
+
+let last_component path =
+  match String.rindex_opt path '.' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+let rec is_float_literal (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident ("~-." | "~+."); _ }; _ },
+        [ (_, arg) ] ) ->
+      is_float_literal arg
+  | _ -> false
+
+let fold_left_paths =
+  [
+    "List.fold_left";
+    "Array.fold_left";
+    "ListLabels.fold_left";
+    "ArrayLabels.fold_left";
+    "Seq.fold_left";
+  ]
+
+(* [( +. )] itself, or an eta-expanded accumulator [fun acc x -> acc +. x]
+   (possibly with the operands swapped or through more parameters). Note
+   operator names contain a dot, so compare whole normalized paths rather
+   than path components. *)
+let is_float_add_ident txt = normalize (path_of_lid txt) = "+."
+
+let rec is_float_add_fn (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> is_float_add_ident txt
+  | Pexp_fun (_, _, _, body) -> is_float_add_fn body
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      is_float_add_ident txt
+  | _ -> false
+
+let printer_paths =
+  [
+    "Printf.printf";
+    "Printf.eprintf";
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+    "Format.printf";
+    "Format.eprintf";
+    "Format.print_string";
+    "Format.print_newline";
+  ]
+
+let partial_paths = [ "List.hd"; "List.tl"; "List.nth"; "Option.get" ]
+
+(* ------------------------------------------------------------------ *)
+(* The walk                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let message rule detail =
+  match rule with
+  | Float_eq ->
+      Printf.sprintf
+        "exact float comparison (%s) against a float literal; use \
+         Numerics.Stats.approx_eq / Numerics.Stats.is_zero (or classify \
+         the float) or annotate with (* divlint: allow float-eq *)"
+        detail
+  | Random_use ->
+      Printf.sprintf
+        "%s: Stdlib.Random is only allowed in lib/numerics/rng.ml; route \
+         all randomness through the seeded Numerics.Rng"
+        detail
+  | Float_sum ->
+      "naive float accumulation via fold_left ( +. ); use \
+       Numerics.Kahan.sum_array / Kahan.sum_over (or Numerics.Welford for \
+       running moments)"
+  | Missing_mli ->
+      Printf.sprintf
+        "lib module without an interface: expected %si next to %s" detail
+        detail
+  | Print_effect ->
+      Printf.sprintf
+        "%s: printing side effect in lib/ (only lib/report may print); \
+         return a string and let the caller print"
+        detail
+  | Partial_fun ->
+      Printf.sprintf
+        "partial function %s in lib/; match explicitly or use the _opt \
+         variant"
+        detail
+
+let findings_of_structure ctx structure =
+  let acc = ref [] in
+  let add (loc : Location.t) rule detail =
+    let pos = loc.loc_start in
+    !acc
+    |> List.exists (fun f ->
+           f.rule = rule && f.line = pos.pos_lnum
+           && f.col = pos.pos_cnum - pos.pos_bol)
+    |> fun dup ->
+    if not dup then
+      acc :=
+        {
+          rule;
+          file = ctx.relpath;
+          line = pos.pos_lnum;
+          col = pos.pos_cnum - pos.pos_bol;
+          message = message rule detail;
+        }
+        :: !acc
+  in
+  let check_ident loc path =
+    let path = normalize path in
+    (match String.index_opt path '.' with
+    | Some i when String.sub path 0 i = "Random" && not ctx.is_rng ->
+        add loc Random_use path
+    | _ -> ());
+    if ctx.in_lib && (not ctx.in_report) && List.mem path printer_paths then
+      add loc Print_effect path;
+    if ctx.in_lib && List.mem path partial_paths then
+      add loc Partial_fun path
+  in
+  let check_apply (e : Parsetree.expression) fn args =
+    match fn.Parsetree.pexp_desc with
+    | Pexp_ident { txt; _ } ->
+        let path = normalize (path_of_lid txt) in
+        let op = last_component path in
+        if
+          (op = "=" || op = "<>")
+          && List.exists (fun (_, a) -> is_float_literal a) args
+        then add e.pexp_loc Float_eq op;
+        if List.mem path fold_left_paths || path = "fold_left" then (
+          (* the folded function: the ~f argument if labelled, the first
+             positional argument otherwise *)
+          let folded =
+            match
+              List.find_opt
+                (fun (lbl, _) -> lbl = Asttypes.Labelled "f")
+                args
+            with
+            | Some (_, f0) -> Some f0
+            | None -> (
+                match args with
+                | (Asttypes.Nolabel, f0) :: _ -> Some f0
+                | _ -> None)
+          in
+          match folded with
+          | Some f0 when is_float_add_fn f0 -> add e.pexp_loc Float_sum ""
+          | _ -> ())
+    | _ -> ()
+  in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply (fn, args) -> check_apply e fn args
+          | Pexp_ident { txt; _ } -> check_ident e.pexp_loc (path_of_lid txt)
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iterator.structure iterator structure;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Driving                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_implementation ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  Parse.implementation lexbuf
+
+let lint_source ?relpath ~path source =
+  let ctx = make_ctx (Option.value relpath ~default:path) in
+  let structure = parse_implementation ~path source in
+  let suppressions = scan_suppressions source in
+  let ast_findings = findings_of_structure ctx structure in
+  let mli_findings =
+    if
+      ctx.in_lib
+      && Filename.check_suffix ctx.relpath ".ml"
+      && not (Sys.file_exists (path ^ "i"))
+    then
+      [
+        {
+          rule = Missing_mli;
+          file = ctx.relpath;
+          line = 1;
+          col = 0;
+          message = message Missing_mli ctx.relpath;
+        };
+      ]
+    else []
+  in
+  List.filter
+    (fun f -> not (suppressed suppressions f.line f.rule))
+    (mli_findings @ ast_findings)
+
+let lint_file ?relpath path = lint_source ?relpath ~path (read_file path)
+
+let rec collect_ml_files acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "" || name.[0] = '.' || name = "_build" then acc
+           else collect_ml_files acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let lint_paths paths =
+  let files =
+    List.fold_left collect_ml_files [] paths |> List.sort_uniq compare
+  in
+  let findings, errors =
+    List.fold_left
+      (fun (fs, es) file ->
+        match lint_file file with
+        | findings -> (fs @ findings, es)
+        | exception exn ->
+            let err =
+              Printf.sprintf "%s: parse error: %s" file
+                (Printexc.to_string exn)
+            in
+            (fs, es @ [ err ]))
+      ([], []) files
+  in
+  (findings, errors, List.length files)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let render_finding f =
+  Printf.sprintf "%s:%d:%d: [%s %s] %s" f.file f.line f.col (rule_id f.rule)
+    (rule_slug f.rule) f.message
+
+let render_text findings =
+  String.concat "" (List.map (fun f -> render_finding f ^ "\n") findings)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json findings =
+  let item f =
+    Printf.sprintf
+      "{\"rule\":\"%s\",\"slug\":\"%s\",\"file\":\"%s\",\"line\":%d,\
+       \"col\":%d,\"message\":\"%s\"}"
+      (rule_id f.rule) (rule_slug f.rule) (json_escape f.file) f.line f.col
+      (json_escape f.message)
+  in
+  "[" ^ String.concat "," (List.map item findings) ^ "]\n"

@@ -1,0 +1,53 @@
+(** The divlint rule engine.
+
+    Parses [.ml] sources with compiler-libs and reports violations of the
+    repo's numerical-reliability rules. Rule scoping (which rules apply to
+    a file) is decided from the reported path, so callers linting files
+    outside the repo layout (e.g. the fixture corpus) can override it with
+    [?relpath]. *)
+
+type rule =
+  | Float_eq  (** R1: exact float (in)equality against a float literal *)
+  | Random_use  (** R2: [Stdlib.Random] outside [lib/numerics/rng.ml] *)
+  | Float_sum  (** R3: naive [+.] accumulation via [fold_left] *)
+  | Missing_mli  (** R4: [lib/] module without an interface file *)
+  | Print_effect  (** R5: printing side effect in [lib/] outside [lib/report/] *)
+  | Partial_fun  (** R6: partial function ([List.hd] / [List.nth] / [Option.get]) *)
+
+val all_rules : rule list
+
+val rule_id : rule -> string
+(** ["R1"] .. ["R6"]. *)
+
+val rule_slug : rule -> string
+(** Stable lowercase name used in suppression comments, e.g. ["float-eq"]. *)
+
+val rule_of_token : string -> rule option
+(** Accepts a slug or a rule id, case-insensitively. *)
+
+type finding = {
+  rule : rule;
+  file : string;  (** path as reported (the [?relpath] when given) *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+}
+
+val lint_source : ?relpath:string -> path:string -> string -> finding list
+(** Lint source text. [path] locates the file on disk (for the R4 interface
+    check and parse-error positions); [relpath] (default [path]) scopes the
+    rules. Raises on syntax errors. *)
+
+val lint_file : ?relpath:string -> string -> finding list
+(** [lint_source] over the file's contents. *)
+
+val lint_paths : string list -> finding list * string list * int
+(** Recursively lint every [.ml] under the given files/directories
+    (skipping [_build] and dot-directories). Returns findings, parse-error
+    descriptions, and the number of files scanned. *)
+
+val render_finding : finding -> string
+(** [file:line:col: [R1 float-eq] message]. *)
+
+val render_text : finding list -> string
+val render_json : finding list -> string

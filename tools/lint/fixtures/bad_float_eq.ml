@@ -1,0 +1,7 @@
+(* Known-bad R1 corpus: exact float comparisons against literals. *)
+
+let guard denom = if denom = 0.0 then nan else 1.0 /. denom
+let not_one x = x <> 1.0
+let negated x = x = -0.5
+let int_compare_is_fine n = n = 0
+let char_compare_is_fine c = c = 'x'

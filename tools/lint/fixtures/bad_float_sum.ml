@@ -1,0 +1,8 @@
+(* Known-bad R3 corpus: naive float accumulation. *)
+
+let total xs = List.fold_left ( +. ) 0.0 xs
+let total_arr xs = Array.fold_left (fun acc x -> acc +. x) 0.0 xs
+let labelled xs = ListLabels.fold_left ~f:( +. ) ~init:0.0 xs
+
+(* fine: non-float fold *)
+let count xs = List.fold_left (fun acc _ -> acc + 1) 0 xs

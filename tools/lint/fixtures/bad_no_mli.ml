@@ -1,0 +1,3 @@
+(* Known-bad R4 corpus (linted as if under lib/): no .mli next to this file. *)
+
+let answer = 42

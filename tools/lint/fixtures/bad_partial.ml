@@ -1,0 +1,8 @@
+(* Known-bad R6 corpus (linted as if under lib/): partial functions. *)
+
+let first xs = List.hd xs
+let third xs = List.nth xs 2
+let force o = Option.get o
+
+(* fine: total alternatives *)
+let first_opt xs = match xs with [] -> None | x :: _ -> Some x

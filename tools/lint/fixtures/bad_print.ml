@@ -1,0 +1,8 @@
+(* Known-bad R5 corpus (linted as if under lib/): printing side effects. *)
+
+let shout () = print_endline "reliability!"
+let fmt x = Printf.printf "%f\n" x
+let via_format x = Format.printf "%f@." x
+
+(* fine: building strings is not a side effect *)
+let pure x = Printf.sprintf "%f" x

@@ -1,0 +1,5 @@
+(* Known-bad R2 corpus: unseeded Stdlib.Random outside lib/numerics/rng.ml. *)
+
+let noise () = Random.float 1.0
+let coin () = Stdlib.Random.bool ()
+let state () = Random.State.make_self_init ()

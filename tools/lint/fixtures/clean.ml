@@ -1,0 +1,8 @@
+(* Known-clean corpus (linted as if under lib/): passes every rule. *)
+
+let near_zero eps x = abs_float x <= eps
+let safe_ratio num denom = if near_zero 1e-308 denom then nan else num /. denom
+
+let first_or_zero = function [] -> 0.0 | x :: _ -> x
+
+let describe x = Printf.sprintf "value %f" x

@@ -1,0 +1,4 @@
+val near_zero : float -> float -> bool
+val safe_ratio : float -> float -> float
+val first_or_zero : float list -> float
+val describe : float -> string

@@ -1,0 +1,15 @@
+(* Suppression-comment corpus: every violation below is annotated except
+   the last one, which must still be reported. *)
+
+let exact_guard x = if x = 0.0 then 1.0 else x (* divlint: allow float-eq *)
+
+(* divlint: allow float-eq *)
+let standalone_comment_covers_next_line x = x <> 1.0
+
+let by_rule_id x = x = 2.5 (* divlint: allow R1 *)
+
+let several xs = List.fold_left ( +. ) 0.0 xs (* divlint: allow float-sum, float-eq *)
+
+let everything () = Random.bit () (* divlint: allow all *)
+
+let unsuppressed x = x = 3.25
