@@ -1,4 +1,4 @@
-.PHONY: all build lint test check clean
+.PHONY: all build lint test check bench-json clean
 
 all: build
 
@@ -11,11 +11,17 @@ lint:
 test:
 	dune runtest
 
+# Fully-timed kernel benchmark artefact, stamped with the current commit.
+bench-json:
+	GIT_REV=$$(git rev-parse --short HEAD) dune exec bench/main.exe -- json -o BENCH_kernels.json
+	dune exec tools/benchcheck/benchcheck.exe -- BENCH_kernels.json
+
 # The single-command gate CI should run (equivalently: dune build @ci).
 check:
 	dune build @lint
 	dune build
 	dune runtest
+	dune build @bench-smoke
 
 clean:
 	dune clean

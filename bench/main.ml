@@ -7,7 +7,15 @@
 
    Run with:  dune exec bench/main.exe            (both passes)
               dune exec bench/main.exe -- tables  (reproduction only)
-              dune exec bench/main.exe -- kernels (timings only)      *)
+              dune exec bench/main.exe -- kernels (timings only)
+              dune exec bench/main.exe -- json [--smoke] [-o FILE]
+                 (kernel timings as BENCH_kernels.json; --smoke runs a
+                  minimal-iteration pass for CI structural validation)
+
+   The json mode records the seed and, when the caller passes it, the git
+   short revision via the GIT_REV environment variable — `make bench-json`
+   does both — so the perf trajectory in BENCH_kernels.json is
+   attributable to a commit. *)
 
 open Bechamel
 open Toolkit
@@ -75,14 +83,25 @@ let tests () =
            ignore (Baselines.Eckhardt_lee.mean_pair space)));
   ]
 
-let run_kernels () =
-  print_endline "\n================ kernel timings (bechamel, OLS) ================";
+type kernel_row = {
+  name : string;
+  ns_per_run : float option;
+  r_square : float option;
+  samples : int;
+}
+
+(* Run every kernel and return one row per kernel, sorted by name. With
+   [smoke] the benchmark budget collapses to a couple of iterations per
+   kernel — enough for the CI gate to validate the JSON structure without
+   paying benchmarking time. *)
+let measure_kernels ~smoke () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    if smoke then Benchmark.cfg ~limit:2 ~quota:(Time.second 0.001) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
   let raw =
     List.fold_left
@@ -98,28 +117,89 @@ let run_kernels () =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
   let merged = Analyze.merge ols instances results in
-  Printf.printf "%-34s %14s %10s\n" "kernel" "ns/run" "r^2";
-  Printf.printf "%s\n" (String.make 60 '-');
+  let rows = ref [] in
   Hashtbl.iter
     (fun _measure per_test ->
-      let rows =
-        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns_per_run =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> Some e
+            | _ -> None
+          in
+          let samples =
+            match Hashtbl.find_opt raw name with
+            | Some b -> b.Benchmark.stats.Benchmark.samples
+            | None -> 0
+          in
+          rows :=
+            { name; ns_per_run; r_square = Analyze.OLS.r_square ols_result; samples }
+            :: !rows)
+        per_test)
+    merged;
+  List.sort (fun a b -> compare a.name b.name) !rows
+
+let print_kernel_table rows =
+  print_endline "\n================ kernel timings (bechamel, OLS) ================";
+  Printf.printf "%-34s %14s %10s\n" "kernel" "ns/run" "r^2";
+  Printf.printf "%s\n" (String.make 60 '-');
+  List.iter
+    (fun row ->
+      let estimate =
+        match row.ns_per_run with
+        | Some e -> Printf.sprintf "%14.1f" e
+        | None -> Printf.sprintf "%14s" "n/a"
       in
-      List.iter
-        (fun (name, ols) ->
-          let estimate =
-            match Analyze.OLS.estimates ols with
-            | Some (e :: _) -> Printf.sprintf "%14.1f" e
-            | _ -> Printf.sprintf "%14s" "n/a"
-          in
-          let r2 =
-            match Analyze.OLS.r_square ols with
-            | Some r -> Printf.sprintf "%10.4f" r
-            | None -> Printf.sprintf "%10s" "n/a"
-          in
-          Printf.printf "%-34s %s %s\n" name estimate r2)
-        (List.sort compare rows))
-    merged
+      let r2 =
+        match row.r_square with
+        | Some r -> Printf.sprintf "%10.4f" r
+        | None -> Printf.sprintf "%10s" "n/a"
+      in
+      Printf.printf "%-34s %s %s\n" row.name estimate r2)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON output (BENCH_kernels.json)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_json ~smoke rows =
+  let opt_float = function Some f -> Obs.Json.Float f | None -> Obs.Json.Null in
+  let kernel row =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String row.name);
+        ("ns_per_run", opt_float row.ns_per_run);
+        ("r_square", opt_float row.r_square);
+        ("samples", Obs.Json.Int row.samples);
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "divrel-bench/1");
+      ("seed", Obs.Json.Int seed);
+      ( "git_rev",
+        Obs.Json.String
+          (match Sys.getenv_opt "GIT_REV" with
+          | Some rev when String.trim rev <> "" -> String.trim rev
+          | _ -> "unknown") );
+      ("mode", Obs.Json.String (if smoke then "smoke" else "full"));
+      ("kernels", Obs.Json.List (List.map kernel rows));
+    ]
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let run_kernels () = print_kernel_table (measure_kernels ~smoke:false ())
+
+let run_json ~smoke ~out () =
+  let rows = measure_kernels ~smoke () in
+  write_file out (Obs.Json.render (bench_json ~smoke rows) ^ "\n");
+  Printf.printf "bench: wrote %d kernel timings to %s%s\n" (List.length rows)
+    out
+    (if smoke then " (smoke mode: timings are not meaningful)" else "")
 
 let run_tables () =
   print_endline
@@ -128,10 +208,23 @@ let run_tables () =
   print_string (Experiments.Registry.render_all ~seed ())
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let mode =
+    match List.find_opt (fun a -> String.length a > 0 && a.[0] <> '-') args with
+    | Some m -> m
+    | None -> "all"
+  in
+  let smoke = List.mem "--smoke" args in
+  let rec out_of = function
+    | "-o" :: path :: _ -> path
+    | _ :: tl -> out_of tl
+    | [] -> "BENCH_kernels.json"
+  in
+  let out = out_of args in
   (match mode with
   | "tables" -> run_tables ()
   | "kernels" -> run_kernels ()
+  | "json" -> run_json ~smoke ~out ()
   | _ ->
       run_tables ();
       run_kernels ());

@@ -3,7 +3,13 @@
    Usage:
      divrel-experiments list
      divrel-experiments run E04 [--seed 7]
-     divrel-experiments all [--seed 7]            *)
+     divrel-experiments all [--seed 7]
+
+   Telemetry (run / all): --metrics FILE writes a JSON metrics snapshot
+   (counters, gauges, PFD histograms, RNG draw counts), --trace FILE a
+   Chrome trace-event file of the nested simulator spans, --log FILE a
+   JSONL structured run log. Instrumentation is off unless requested and
+   never perturbs the experiments: same seeds, same outputs. *)
 
 open Cmdliner
 
@@ -15,6 +21,73 @@ let setup_logs () =
 let seed_arg =
   let doc = "Random seed used by every stochastic experiment component." in
   Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let trace_arg =
+  let doc = "Write a Chrome trace-event JSON file of the simulator spans." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a JSON metrics snapshot (counters, gauges, histograms, RNG draws)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let log_arg =
+  let doc = "Write a JSONL structured run log (one event object per line)." in
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+
+(* Process-wide RNG consumption, reported in the metrics snapshot. *)
+let m_rng_draws = Obs.Metrics.counter "rng.draws"
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Run [f] with the telemetry sinks the flags request, then write the
+   artefacts. With all three flags absent this is just [f ()]. *)
+let with_telemetry ~label ~seed ~trace ~metrics ~log f =
+  if trace = None && metrics = None && log = None then f ()
+  else begin
+    if metrics <> None then Obs.Metrics.set_enabled true;
+    if trace <> None then Obs.Trace.set_enabled true;
+    let runlog =
+      match log with Some _ -> Some (Obs.Runlog.create ()) | None -> None
+    in
+    Obs.Runlog.set_sink runlog;
+    if Obs.Runlog.active () then
+      Obs.Runlog.record ~kind:"run.start"
+        [ ("target", Obs.Json.String label); ("seed", Obs.Json.Int seed) ];
+    let draws0 = Numerics.Rng.total_draws () in
+    let span = Obs.Trace.enter label in
+    let result, dur_ns = Obs.Clock.timed f in
+    Obs.Trace.leave span;
+    let draws = Numerics.Rng.total_draws () - draws0 in
+    Obs.Metrics.add m_rng_draws draws;
+    if Obs.Runlog.active () then
+      Obs.Runlog.record ~kind:"run.end"
+        [
+          ("target", Obs.Json.String label);
+          ("seed", Obs.Json.Int seed);
+          ("rng_draws", Obs.Json.Int draws);
+          ("duration_ns", Obs.Json.Int (Int64.to_int dur_ns));
+        ];
+    Option.iter (fun path -> write_file path (Obs.Metrics.render_json ())) metrics;
+    Option.iter
+      (fun path -> write_file path (Obs.Trace.render_chrome_json ()))
+      trace;
+    Option.iter
+      (fun path ->
+        match runlog with
+        | Some l -> write_file path (Obs.Runlog.to_jsonl l)
+        | None -> ())
+      log;
+    Obs.Runlog.set_sink None;
+    Obs.Trace.set_enabled false;
+    Obs.Metrics.set_enabled false;
+    result
+  end
 
 let list_cmd =
   let run () =
@@ -36,11 +109,16 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id, e.g. E04 (see 'list').")
   in
-  let run id seed =
+  let run id seed trace metrics log =
     setup_logs ();
     match Experiments.Registry.find id with
     | Some e ->
-        print_string (Experiments.Experiment.render ~seed e);
+        let rendered =
+          with_telemetry ~label:("experiment." ^ e.Experiments.Experiment.id)
+            ~seed ~trace ~metrics ~log (fun () ->
+              Experiments.Experiment.render ~seed e)
+        in
+        print_string rendered;
         `Ok ()
     | None ->
         `Error
@@ -50,16 +128,21 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment by id")
-    Term.(ret (const run $ id_arg $ seed_arg))
+    Term.(
+      ret (const run $ id_arg $ seed_arg $ trace_arg $ metrics_arg $ log_arg))
 
 let all_cmd =
-  let run seed =
+  let run seed trace metrics log =
     setup_logs ();
-    print_string (Experiments.Registry.render_all ~seed ())
+    let rendered =
+      with_telemetry ~label:"experiments.all" ~seed ~trace ~metrics ~log
+        (fun () -> Experiments.Registry.render_all ~seed ())
+    in
+    print_string rendered
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in order")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ trace_arg $ metrics_arg $ log_arg)
 
 let main =
   let doc =

@@ -1,4 +1,15 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable draws : int;
+}
+
+(* Process-wide draw total across every generator, for run telemetry.
+   Kept unconditional: one int increment is noise next to the Int64
+   boxing a draw already pays, and gating it would cost the same branch. *)
+let total = ref 0
 
 (* splitmix64: used to expand a seed into the xoshiro state, and to derive
    independent substreams. *)
@@ -16,12 +27,14 @@ let create ~seed =
   let s1 = splitmix64_next state in
   let s2 = splitmix64_next state in
   let s3 = splitmix64_next state in
-  { s0; s1; s2; s3 }
+  { s0; s1; s2; s3; draws = 0 }
 
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 (* xoshiro256++ *)
 let next_int64 t =
+  t.draws <- t.draws + 1;
+  incr total;
   let open Int64 in
   let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
   let tmp = shift_left t.s1 17 in
@@ -42,7 +55,10 @@ let split t ~index =
   let s1 = splitmix64_next state in
   let s2 = splitmix64_next state in
   let s3 = splitmix64_next state in
-  { s0; s1; s2; s3 }
+  { s0; s1; s2; s3; draws = 0 }
+
+let draws t = t.draws
+let total_draws () = !total
 
 let float t =
   (* 53 high bits -> uniform in [0, 1). *)

@@ -20,6 +20,19 @@ val split : t -> index:int -> t
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val draws : t -> int
+(** Number of raw 64-bit draws this generator has produced so far
+    (monotonically increasing; {!split} children start at 0). Equal seeds
+    driven through the same code yield equal draw counts — the
+    reproducibility regression guard the telemetry layer reports. Note
+    that {!int} consumes at least one draw but may consume more
+    (rejection sampling). *)
+
+val total_draws : unit -> int
+(** Process-wide draw total across every generator ever created, for run
+    telemetry (e.g. draws consumed by one experiment = difference around
+    the call). *)
+
 val float : t -> float
 (** Uniform draw in [0, 1) with 53 bits of precision. *)
 

@@ -1,0 +1,45 @@
+(* Structured JSONL run log.
+
+   A run log is an in-memory sequence of JSON objects; instrumented code
+   appends through the optional global sink, so with no sink installed
+   (the default) [record] is one branch. Call sites that must build a
+   field list should guard with [active] so the list is never allocated
+   on the disabled path. Each event carries the event kind, a sequence
+   number and a monotonic timestamp; the caller serialises with
+   [to_jsonl] (one object per line) and writes the file itself — this
+   module performs no I/O. *)
+
+type t = { mutable events_rev : Json.t list; mutable count : int }
+
+let create () = { events_rev = []; count = 0 }
+
+let global : t option ref = ref None
+
+let set_sink s = global := s
+let sink () = !global
+let active () = match !global with Some _ -> true | None -> false
+
+let record ~kind fields =
+  match !global with
+  | None -> ()
+  | Some t ->
+      t.count <- t.count + 1;
+      t.events_rev <-
+        Json.Obj
+          (("event", Json.String kind)
+          :: ("seq", Json.Int t.count)
+          :: ("t_ns", Json.Int (Int64.to_int (Clock.now_ns ())))
+          :: fields)
+        :: t.events_rev
+
+let size t = t.count
+let events t = List.rev t.events_rev
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.render e);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Structured JSONL run log.
+
+    Instrumented code appends events through an optional global sink;
+    with no sink installed (the default) {!record} costs one branch.
+    Call sites that build a field list should guard with {!active} so
+    nothing is allocated on the disabled path:
+
+    {[
+      if Obs.Runlog.active () then
+        Obs.Runlog.record ~kind:"sprt.decision"
+          [ ("demands", Obs.Json.Int n) ]
+    ]}
+
+    Every event carries its kind, a per-log sequence number ([seq]) and a
+    monotonic nanosecond timestamp ([t_ns]). This module performs no I/O:
+    callers serialise with {!to_jsonl} and write the file themselves. *)
+
+type t
+
+val create : unit -> t
+
+val set_sink : t option -> unit
+(** Install (or remove, with [None]) the global sink that {!record}
+    appends to. *)
+
+val sink : unit -> t option
+val active : unit -> bool
+
+val record : kind:string -> (string * Json.t) list -> unit
+(** Append an event to the installed sink; no-op without one. The given
+    fields follow the standard [event]/[seq]/[t_ns] fields. *)
+
+val size : t -> int
+
+val events : t -> Json.t list
+(** Events in append order. *)
+
+val to_jsonl : t -> string
+(** One compact JSON object per line, in append order. *)

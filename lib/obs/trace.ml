@@ -1,0 +1,131 @@
+(* Nested spans over the monotonic clock.
+
+   Spans record (name, depth, start, duration) into a growable global
+   array in start order, which serves both renderings: the text tree
+   indents by depth, and the Chrome trace-event JSON emits one complete
+   ("ph":"X") event per span. With tracing disabled (the default),
+   [enter] returns the null handle after a single branch and [leave] is a
+   no-op, so hot loops can carry spans permanently. *)
+
+let enabled = ref false
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+type record = {
+  r_name : string;
+  r_depth : int;
+  r_start_ns : int64;
+  mutable r_dur_ns : int64;  (* -1 while the span is open *)
+}
+
+let dummy = { r_name = ""; r_depth = 0; r_start_ns = 0L; r_dur_ns = 0L }
+
+(* Growable event store; OCaml 5.1 has no Dynarray yet. *)
+let events = ref ([||] : record array)
+let count = ref 0
+let open_stack = ref ([] : int list)
+
+let append r =
+  let arr = !events in
+  let n = !count in
+  let arr =
+    if n < Array.length arr then arr
+    else begin
+      let grown = Array.make (if n = 0 then 256 else 2 * n) dummy in
+      Array.blit arr 0 grown 0 n;
+      events := grown;
+      grown
+    end
+  in
+  arr.(n) <- r;
+  count := n + 1;
+  n
+
+type handle = int
+
+let null_handle = -1
+
+let enter name =
+  if not !enabled then null_handle
+  else begin
+    let idx =
+      append
+        {
+          r_name = name;
+          r_depth = List.length !open_stack;
+          r_start_ns = Clock.now_ns ();
+          r_dur_ns = -1L;
+        }
+    in
+    open_stack := idx :: !open_stack;
+    idx
+  end
+
+let leave handle =
+  if handle >= 0 && handle < !count then begin
+    let r = (!events).(handle) in
+    r.r_dur_ns <- Clock.elapsed_ns ~since:r.r_start_ns;
+    match !open_stack with
+    | top :: rest when top = handle -> open_stack := rest
+    | _ -> () (* mismatched leave: keep the stack as-is rather than corrupt it *)
+  end
+
+let with_span name f =
+  let h = enter name in
+  Fun.protect ~finally:(fun () -> leave h) f
+
+let reset () =
+  events := [||];
+  count := 0;
+  open_stack := []
+
+type span = { name : string; depth : int; start_ns : int64; dur_ns : int64 }
+
+let spans () =
+  List.init !count (fun i ->
+      let r = (!events).(i) in
+      {
+        name = r.r_name;
+        depth = r.r_depth;
+        start_ns = r.r_start_ns;
+        dur_ns = r.r_dur_ns;
+      })
+
+let span_count () = !count
+
+let to_text () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (String.make (2 * s.depth) ' ');
+      Buffer.add_string buf s.name;
+      if s.dur_ns < 0L then Buffer.add_string buf " (open)\n"
+      else Buffer.add_string buf (Fmt.str " %a\n" Clock.pp_duration_ns s.dur_ns))
+    (spans ());
+  Buffer.contents buf
+
+let to_chrome_json () =
+  (* Chrome trace-event format ("ph":"X" complete events), timestamps in
+     microseconds relative to the first span so the numbers stay small.
+     Loadable in chrome://tracing and Perfetto. *)
+  let all = spans () in
+  let base = match all with s :: _ -> s.start_ns | [] -> 0L in
+  let event s =
+    Json.Obj
+      [
+        ("name", Json.String s.name);
+        ("cat", Json.String "obs");
+        ("ph", Json.String "X");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int 0);
+        ("ts", Json.Float (Clock.ns_to_us (Int64.sub s.start_ns base)));
+        ("dur", Json.Float (Clock.ns_to_us (Int64.max 0L s.dur_ns)));
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event all));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let render_chrome_json () = Json.render (to_chrome_json ())

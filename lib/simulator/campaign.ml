@@ -1,5 +1,19 @@
 open Numerics
 
+(* Telemetry (all no-ops until enabled; see lib/obs): per-mission
+   counters, a running failure-rate gauge to watch MTTF convergence, and
+   a histogram of observed failure times. *)
+let m_missions = Obs.Metrics.counter "campaign.missions"
+let m_failures = Obs.Metrics.counter "campaign.failures"
+let m_censored = Obs.Metrics.counter "campaign.censored"
+let g_failure_rate = Obs.Metrics.gauge "campaign.running_failure_rate"
+let g_survival = Obs.Metrics.gauge "campaign.last_survival_fraction"
+
+let h_time_to_failure =
+  (* Failure times are demand counts, not PFDs: buckets 1 .. 1e9. *)
+  Obs.Metrics.histogram ~lo:1.0 ~decades:9 ~per_decade:4
+    "campaign.time_to_first_failure"
+
 type mission_outcome = Failed_at of int | Survived
 
 let time_to_first_failure rng ~system ~max_demands =
@@ -27,20 +41,45 @@ type mttf_estimate = {
 let estimate_mttf rng ~system ~missions ~max_demands =
   if missions <= 0 then
     invalid_arg "Campaign.estimate_mttf: missions must be positive";
+  let span = Obs.Trace.enter "campaign.estimate_mttf" in
   let failures = ref 0 in
   let censored = ref 0 in
   let total_time = ref 0 in
   let failure_time = ref 0 in
-  for _ = 1 to missions do
-    match time_to_first_failure rng ~system ~max_demands with
+  for mission = 1 to missions do
+    let mission_span = Obs.Trace.enter "campaign.mission" in
+    (match time_to_first_failure rng ~system ~max_demands with
     | Failed_at t ->
         incr failures;
         failure_time := !failure_time + t;
-        total_time := !total_time + t
+        total_time := !total_time + t;
+        Obs.Metrics.incr m_failures;
+        Obs.Metrics.observe h_time_to_failure (float_of_int t);
+        if Obs.Runlog.active () then
+          Obs.Runlog.record ~kind:"campaign.mission"
+            [
+              ("mission", Obs.Json.Int mission);
+              ("outcome", Obs.Json.String "failed");
+              ("failed_at", Obs.Json.Int t);
+            ]
     | Survived ->
         incr censored;
-        total_time := !total_time + max_demands
+        total_time := !total_time + max_demands;
+        Obs.Metrics.incr m_censored;
+        if Obs.Runlog.active () then
+          Obs.Runlog.record ~kind:"campaign.mission"
+            [
+              ("mission", Obs.Json.Int mission);
+              ("outcome", Obs.Json.String "survived");
+              ("max_demands", Obs.Json.Int max_demands);
+            ]);
+    Obs.Metrics.incr m_missions;
+    if Obs.Metrics.is_enabled () then
+      Obs.Metrics.set g_failure_rate
+        (float_of_int !failures /. float_of_int !total_time);
+    Obs.Trace.leave mission_span
   done;
+  Obs.Trace.leave span;
   {
     missions;
     failures = !failures;
@@ -64,13 +103,18 @@ let mission_survival_probability ~pfd ~mission_demands =
 let simulate_mission_survival rng ~system ~mission_demands ~missions =
   if missions <= 0 then
     invalid_arg "Campaign.simulate_mission_survival: missions must be positive";
+  let span = Obs.Trace.enter "campaign.simulate_mission_survival" in
   let survived = ref 0 in
   for _ = 1 to missions do
-    match time_to_first_failure rng ~system ~max_demands:mission_demands with
+    (match time_to_first_failure rng ~system ~max_demands:mission_demands with
     | Survived -> incr survived
-    | Failed_at _ -> ()
+    | Failed_at _ -> ());
+    Obs.Metrics.incr m_missions
   done;
-  float_of_int !survived /. float_of_int missions
+  let fraction = float_of_int !survived /. float_of_int missions in
+  Obs.Metrics.set g_survival fraction;
+  Obs.Trace.leave span;
+  fraction
 
 type architecture_report = {
   label : string;
@@ -84,6 +128,7 @@ let compare_architectures rng space ~architectures ~missions ~max_demands =
     (fun (label, channels, required) ->
       if channels <= 0 then
         invalid_arg "Campaign.compare_architectures: channels must be positive";
+      let arch_span = Obs.Trace.enter ("campaign.architecture:" ^ label) in
       let mk () =
         Channel.create ~name:label (Devteam.develop rng space)
       in
@@ -91,11 +136,15 @@ let compare_architectures rng space ~architectures ~missions ~max_demands =
         Protection.voted ~required (List.init channels (fun _ -> mk ()))
       in
       let analytic_pfd = Protection.true_pfd system in
-      {
-        label;
-        analytic_pfd;
-        simulated_mttf = estimate_mttf rng ~system ~missions ~max_demands;
-        survival_1000 =
-          mission_survival_probability ~pfd:analytic_pfd ~mission_demands:1000;
-      })
+      let report =
+        {
+          label;
+          analytic_pfd;
+          simulated_mttf = estimate_mttf rng ~system ~missions ~max_demands;
+          survival_1000 =
+            mission_survival_probability ~pfd:analytic_pfd ~mission_demands:1000;
+        }
+      in
+      Obs.Trace.leave arch_span;
+      report)
     architectures

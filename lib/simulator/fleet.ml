@@ -1,5 +1,15 @@
 open Numerics
 
+(* Telemetry (all no-ops until enabled; see lib/obs): per-member
+   distributions across the fleet — the true PFD behind each deployed
+   system and the failure count each plant observed. *)
+let m_plants = Obs.Metrics.counter "fleet.plants_observed"
+let h_plant_pfd = Obs.Metrics.histogram "fleet.plant_true_pfd"
+
+let h_plant_failures =
+  (* Failure counts, not PFDs: buckets 1 .. 1e6 (0 lands in underflow). *)
+  Obs.Metrics.histogram ~lo:1.0 ~decades:6 ~per_decade:4 "fleet.plant_failures"
+
 type plant_record = {
   system_pfd : float;
   demands : int;
@@ -24,18 +34,37 @@ let deploy_singles rng space ~plants =
 let observe rng systems ~demands_per_plant =
   if demands_per_plant <= 0 then
     invalid_arg "Fleet.observe: demands_per_plant must be positive";
-  {
-    records =
-      Array.map
-        (fun system ->
-          let stats = Runner.run rng ~system ~demand_count:demands_per_plant in
-          {
-            system_pfd = Protection.true_pfd system;
-            demands = demands_per_plant;
-            failures = stats.Runner.system_failures;
-          })
-        systems;
-  }
+  let span = Obs.Trace.enter "fleet.observe" in
+  let fleet =
+    {
+      records =
+        Array.mapi
+          (fun plant system ->
+            let stats = Runner.run rng ~system ~demand_count:demands_per_plant in
+            let record =
+              {
+                system_pfd = Protection.true_pfd system;
+                demands = demands_per_plant;
+                failures = stats.Runner.system_failures;
+              }
+            in
+            Obs.Metrics.incr m_plants;
+            Obs.Metrics.observe h_plant_pfd record.system_pfd;
+            Obs.Metrics.observe h_plant_failures (float_of_int record.failures);
+            if Obs.Runlog.active () then
+              Obs.Runlog.record ~kind:"fleet.plant"
+                [
+                  ("plant", Obs.Json.Int plant);
+                  ("demands", Obs.Json.Int record.demands);
+                  ("failures", Obs.Json.Int record.failures);
+                  ("true_pfd", Obs.Json.Float record.system_pfd);
+                ];
+            record)
+          systems;
+    }
+  in
+  Obs.Trace.leave span;
+  fleet
 
 let size t = Array.length t.records
 let records t = Array.copy t.records

@@ -1,5 +1,15 @@
 open Numerics
 
+(* Telemetry (all no-ops until enabled; see lib/obs): iteration and
+   acceptance counters, RNG consumption, and PFD-scale histograms of the
+   sampled single-version and pair PFDs. *)
+let m_iterations = Obs.Metrics.counter "montecarlo.iterations"
+let m_n1_pos = Obs.Metrics.counter "montecarlo.theta1_positive"
+let m_n2_pos = Obs.Metrics.counter "montecarlo.theta2_positive"
+let m_rng_draws = Obs.Metrics.counter "montecarlo.rng_draws"
+let h_theta1 = Obs.Metrics.histogram "montecarlo.theta1"
+let h_theta2 = Obs.Metrics.histogram "montecarlo.theta2"
+
 type estimate = {
   replications : int;
   theta1 : Stats.summary;
@@ -14,6 +24,8 @@ type estimate = {
 let estimate rng universe ~replications =
   if replications <= 0 then
     invalid_arg "Montecarlo.estimate: replications must be positive";
+  let span = Obs.Trace.enter "montecarlo.estimate" in
+  let draws0 = Rng.draws rng in
   let theta1_samples = Array.make replications 0.0 in
   let theta2_samples = Array.make replications 0.0 in
   let n1_pos = ref 0 and n2_pos = ref 0 in
@@ -22,10 +34,25 @@ let estimate rng universe ~replications =
     theta1_samples.(r) <- pfd_a;
     theta2_samples.(r) <- pfd_pair;
     if pfd_a > 0.0 then incr n1_pos;
-    if pfd_pair > 0.0 then incr n2_pos
+    if pfd_pair > 0.0 then incr n2_pos;
+    Obs.Metrics.incr m_iterations;
+    Obs.Metrics.observe h_theta1 pfd_a;
+    Obs.Metrics.observe h_theta2 pfd_pair
   done;
   let p_n1_pos = float_of_int !n1_pos /. float_of_int replications in
   let p_n2_pos = float_of_int !n2_pos /. float_of_int replications in
+  Obs.Metrics.add m_n1_pos !n1_pos;
+  Obs.Metrics.add m_n2_pos !n2_pos;
+  Obs.Metrics.add m_rng_draws (Rng.draws rng - draws0);
+  if Obs.Runlog.active () then
+    Obs.Runlog.record ~kind:"montecarlo.estimate"
+      [
+        ("replications", Obs.Json.Int replications);
+        ("p_n1_pos", Obs.Json.Float p_n1_pos);
+        ("p_n2_pos", Obs.Json.Float p_n2_pos);
+        ("rng_draws", Obs.Json.Int (Rng.draws rng - draws0));
+      ];
+  Obs.Trace.leave span;
   {
     replications;
     theta1 = Stats.summarize theta1_samples;
@@ -50,6 +77,7 @@ type population = {
 let version_population rng space ~count =
   if count < 2 then
     invalid_arg "Montecarlo.version_population: need at least two versions";
+  let span = Obs.Trace.enter "montecarlo.version_population" in
   let versions = Devteam.develop_many rng space ~count in
   let version_pfds = Array.map Demandspace.Version.pfd versions in
   let pairs = ref [] in
@@ -59,12 +87,16 @@ let version_population rng space ~count =
     done
   done;
   let pair_pfds = Array.of_list !pairs in
-  {
-    version_pfds;
-    pair_pfds;
-    version_summary = Stats.summarize version_pfds;
-    pair_summary = Stats.summarize pair_pfds;
-  }
+  let pop =
+    {
+      version_pfds;
+      pair_pfds;
+      version_summary = Stats.summarize version_pfds;
+      pair_summary = Stats.summarize pair_pfds;
+    }
+  in
+  Obs.Trace.leave span;
+  pop
 
 let knight_leveson_shape pop =
   (* The paper's Section 7 check: "diversity reduced not only the sample
@@ -87,6 +119,7 @@ let knight_leveson_shape pop =
 let empirical_system_pfd rng space ~replications ~demands_per_system =
   (* Full-stack estimate: develop a pair, build the Fig. 1 system, run it
      on operational demands, and average the observed failure rates. *)
+  let span = Obs.Trace.enter "montecarlo.empirical_system_pfd" in
   let acc = Welford.create () in
   for _ = 1 to replications do
     let va, vb = Devteam.develop_pair rng space in
@@ -98,4 +131,5 @@ let empirical_system_pfd rng space ~replications ~demands_per_system =
     let stats = Runner.run rng ~system ~demand_count:demands_per_system in
     Welford.add acc stats.Runner.estimated_pfd
   done;
+  Obs.Trace.leave span;
   Welford.mean acc

@@ -1,5 +1,16 @@
 open Numerics
 
+(* Telemetry (all no-ops until enabled; see lib/obs): demand/failure
+   counters across every run in the process, the latest empirical PFD,
+   and a log-bucketed histogram of per-run PFD estimates. *)
+let m_demands = Obs.Metrics.counter "runner.demands"
+let m_system_failures = Obs.Metrics.counter "runner.system_failures"
+let m_channel_failures = Obs.Metrics.counter "runner.channel_failures"
+let m_coincident = Obs.Metrics.counter "runner.coincident_failures"
+let m_runs = Obs.Metrics.counter "runner.runs"
+let g_estimated_pfd = Obs.Metrics.gauge "runner.last_estimated_pfd"
+let h_estimated_pfd = Obs.Metrics.histogram "runner.estimated_pfd"
+
 type stats = {
   demands : int;
   system_failures : int;
@@ -11,6 +22,7 @@ type stats = {
 
 let run ?(log = false) rng ~system ~demand_count =
   if demand_count <= 0 then invalid_arg "Runner.run: demand_count must be positive";
+  let span = Obs.Trace.enter "runner.run" in
   let channels = Protection.channels system in
   let n_channels = List.length channels in
   let channel_failures = Array.make n_channels 0 in
@@ -43,6 +55,23 @@ let run ?(log = false) rng ~system ~demand_count =
   let estimated_pfd =
     float_of_int !system_failures /. float_of_int demand_count
   in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_demands demand_count;
+  Obs.Metrics.add m_system_failures !system_failures;
+  Obs.Metrics.add m_channel_failures (Array.fold_left ( + ) 0 channel_failures);
+  Obs.Metrics.add m_coincident !coincident;
+  Obs.Metrics.set g_estimated_pfd estimated_pfd;
+  Obs.Metrics.observe h_estimated_pfd estimated_pfd;
+  if Obs.Runlog.active () then
+    Obs.Runlog.record ~kind:"runner.run"
+      [
+        ("demands", Obs.Json.Int demand_count);
+        ("system_failures", Obs.Json.Int !system_failures);
+        ("coincident_failures", Obs.Json.Int !coincident);
+        ("estimated_pfd", Obs.Json.Float estimated_pfd);
+        ("rng_draws", Obs.Json.Int (Rng.draws rng));
+      ];
+  Obs.Trace.leave span;
   {
     demands = demand_count;
     system_failures = !system_failures;

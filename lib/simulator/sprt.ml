@@ -1,5 +1,14 @@
 open Numerics
 
+(* Telemetry (all no-ops until enabled; see lib/obs): per-demand step
+   counters, how many tests crossed each Wald boundary, and the current
+   log likelihood ratio for convergence watching. *)
+let m_steps = Obs.Metrics.counter "sprt.steps"
+let m_step_failures = Obs.Metrics.counter "sprt.step_failures"
+let m_accepts = Obs.Metrics.counter "sprt.accepted"
+let m_rejects = Obs.Metrics.counter "sprt.rejected"
+let g_log_lr = Obs.Metrics.gauge "sprt.last_log_lr"
+
 type decision = Accept | Reject | Continue
 
 type t = {
@@ -45,9 +54,18 @@ let record t ~failed =
       t.demands <- t.demands + 1;
       if failed then begin
         t.failures <- t.failures + 1;
-        t.log_lr <- t.log_lr +. t.log_lr_failure
+        t.log_lr <- t.log_lr +. t.log_lr_failure;
+        Obs.Metrics.incr m_step_failures
       end
-      else t.log_lr <- t.log_lr +. t.log_lr_success
+      else t.log_lr <- t.log_lr +. t.log_lr_success;
+      Obs.Metrics.incr m_steps;
+      Obs.Metrics.set g_log_lr t.log_lr;
+      (* A test concludes at most once, so these count boundary
+         crossings, not post-decision observations. *)
+      (match state t with
+      | Accept -> Obs.Metrics.incr m_accepts
+      | Reject -> Obs.Metrics.incr m_rejects
+      | Continue -> ())
   | Accept | Reject -> () (* test already concluded; ignore further data *));
   state t
 
@@ -60,6 +78,7 @@ let theta1 t = t.theta1
 let run rng ~system ~theta0 ~theta1 ~alpha ~beta ~max_demands =
   if max_demands <= 0 then
     invalid_arg "Sprt.run: max_demands must be positive";
+  let span = Obs.Trace.enter "sprt.run" in
   let t = create ~theta0 ~theta1 ~alpha ~beta in
   let space = Protection.space system in
   let plant = Plant.create ~profile:(Demandspace.Space.profile space) rng in
@@ -71,7 +90,23 @@ let run rng ~system ~theta0 ~theta1 ~alpha ~beta ~max_demands =
       | Continue -> loop ()
       | (Accept | Reject) as d -> (d, t)
   in
-  loop ()
+  let result = loop () in
+  (if Obs.Runlog.active () then
+     let decision, _ = result in
+     Obs.Runlog.record ~kind:"sprt.decision"
+       [
+         ( "decision",
+           Obs.Json.String
+             (match decision with
+             | Accept -> "accept"
+             | Reject -> "reject"
+             | Continue -> "undecided") );
+         ("demands", Obs.Json.Int t.demands);
+         ("failures", Obs.Json.Int t.failures);
+         ("log_lr", Obs.Json.Float t.log_lr);
+       ]);
+  Obs.Trace.leave span;
+  result
 
 let expected_sample_size_h0 ~theta0 ~theta1 ~alpha ~beta =
   (* Wald's approximation for E[N | H0]. *)

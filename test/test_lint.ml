@@ -79,6 +79,28 @@ let test_partial () =
   let outside_lib = E.lint_file (fixture "bad_partial.ml") in
   check_int "R6 is lib-only" 0 (count E.Partial_fun outside_lib)
 
+(* ---- R7 ---- *)
+
+let test_wallclock () =
+  let fs = E.lint_file (fixture "bad_wallclock.ml") in
+  check_lines "R7 lines" [ 3; 4; 5 ] (lines_of E.Wallclock fs);
+  check_int "nothing else" 3 (List.length fs);
+  (* R7 applies everywhere, including lib/ and the executables... *)
+  let in_lib =
+    E.lint_file ~relpath:"lib/simulator/bad_wallclock.ml"
+      (fixture "bad_wallclock.ml")
+  in
+  check_int "flagged in lib too" 3 (count E.Wallclock in_lib);
+  let in_bench =
+    E.lint_file ~relpath:"bench/bad_wallclock.ml" (fixture "bad_wallclock.ml")
+  in
+  check_int "flagged in bench" 3 (count E.Wallclock in_bench);
+  (* ...except lib/obs/, the sanctioned home of the clock. *)
+  let exempt =
+    E.lint_file ~relpath:"lib/obs/clock.ml" (fixture "bad_wallclock.ml")
+  in
+  check_int "lib/obs is exempt" 0 (count E.Wallclock exempt)
+
 (* ---- clean corpus ---- *)
 
 let test_clean () =
@@ -149,6 +171,7 @@ let () =
           Alcotest.test_case "R4 missing-mli" `Quick test_missing_mli;
           Alcotest.test_case "R5 print" `Quick test_print;
           Alcotest.test_case "R6 partial" `Quick test_partial;
+          Alcotest.test_case "R7 wallclock" `Quick test_wallclock;
           Alcotest.test_case "clean corpus" `Quick test_clean;
         ] );
       ( "suppressions",

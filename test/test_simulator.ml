@@ -212,6 +212,39 @@ let test_version_population () =
   Alcotest.(check bool) "pair mean below version mean" true (mean_ratio < 1.0);
   Alcotest.(check bool) "pair std below version std" true (std_ratio < 1.0)
 
+(* Reproducibility regression guard: the RNG draw counter must be a pure
+   function of the seed and the code path — equal seeds, equal draw
+   counts, at both the abstract (universe) and concrete (demand-space)
+   simulation levels. A change that breaks this silently reorders or
+   adds randomness and invalidates seed-pinned experiment outputs. *)
+let test_rng_draw_counts () =
+  let draws_of seed =
+    let rng = Numerics.Rng.create ~seed in
+    let u = Core.Universe.of_pairs [ (0.3, 0.1); (0.2, 0.2); (0.4, 0.05) ] in
+    ignore (Simulator.Montecarlo.estimate rng u ~replications:2_000);
+    let space = make_space () in
+    let va, vb = Simulator.Devteam.develop_pair rng space in
+    let system =
+      Simulator.Protection.one_out_of_two
+        (Simulator.Channel.create ~name:"A" va)
+        (Simulator.Channel.create ~name:"B" vb)
+    in
+    ignore (Simulator.Runner.run rng ~system ~demand_count:5_000);
+    Numerics.Rng.draws rng
+  in
+  let d1 = draws_of 4242 and d2 = draws_of 4242 in
+  Alcotest.(check int) "equal seeds give equal draw counts" d1 d2;
+  Alcotest.(check bool) "draws were actually counted" true (d1 > 0);
+  (* split children count their own draws from zero *)
+  let parent = rng0 () in
+  let child = Numerics.Rng.split parent ~index:1 in
+  Alcotest.(check int) "split advances the parent once" 1
+    (Numerics.Rng.draws parent);
+  Alcotest.(check int) "child starts at zero" 0 (Numerics.Rng.draws child);
+  ignore (Numerics.Rng.float child);
+  Alcotest.(check int) "child counts independently" 1
+    (Numerics.Rng.draws child)
+
 let test_empirical_system_pfd () =
   let rng = rng0 () in
   let space = make_space () in
@@ -252,5 +285,7 @@ let () =
           Alcotest.test_case "sigma matches" `Slow test_montecarlo_sigma;
           Alcotest.test_case "version population" `Quick test_version_population;
           Alcotest.test_case "full-stack pfd" `Slow test_empirical_system_pfd;
+          Alcotest.test_case "rng draw counts reproducible" `Quick
+            test_rng_draw_counts;
         ] );
     ]

@@ -1,0 +1,75 @@
+(* benchcheck — structural validator for BENCH_kernels.json.
+
+   The @ci alias runs `bench/main.exe json --smoke` and then this tool,
+   so a malformed or structurally wrong benchmark artefact fails the
+   gate. Checks: the file parses as JSON, carries the divrel-bench/1
+   schema marker, a seed, a git_rev, and a non-empty kernels array whose
+   entries each have a name, numeric-or-null ns_per_run / r_square, and a
+   sample count. Exit codes: 0 ok, 1 structurally invalid, 2 unreadable
+   or unparseable. *)
+
+let fail code msg =
+  prerr_endline ("benchcheck: " ^ msg);
+  exit code
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let require what = function
+  | Some v -> v
+  | None -> fail 1 ("missing or ill-typed " ^ what)
+
+let check_number what v =
+  match v with
+  | Obs.Json.Null | Obs.Json.Int _ | Obs.Json.Float _ -> ()
+  | _ -> fail 1 (what ^ " must be a number or null")
+
+let check_kernel i k =
+  let ctx = Printf.sprintf "kernels[%d]" i in
+  let name =
+    require (ctx ^ ".name")
+      (Option.bind (Obs.Json.member "name" k) Obs.Json.to_string)
+  in
+  if String.trim name = "" then fail 1 (ctx ^ ".name is empty");
+  check_number (ctx ^ ".ns_per_run") (require (ctx ^ ".ns_per_run") (Obs.Json.member "ns_per_run" k));
+  check_number (ctx ^ ".r_square") (require (ctx ^ ".r_square") (Obs.Json.member "r_square" k));
+  let samples =
+    require (ctx ^ ".samples")
+      (Option.bind (Obs.Json.member "samples" k) Obs.Json.to_int)
+  in
+  if samples < 0 then fail 1 (ctx ^ ".samples is negative")
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else fail 2 "usage: benchcheck FILE.json"
+  in
+  let source =
+    match read_file path with
+    | s -> s
+    | exception Sys_error e -> fail 2 ("cannot read " ^ path ^ ": " ^ e)
+  in
+  let json =
+    match Obs.Json.parse source with
+    | Ok j -> j
+    | Error e -> fail 2 (path ^ ": malformed JSON: " ^ e)
+  in
+  let schema =
+    require "schema" (Option.bind (Obs.Json.member "schema" json) Obs.Json.to_string)
+  in
+  if schema <> "divrel-bench/1" then
+    fail 1 (Printf.sprintf "unexpected schema %S (want divrel-bench/1)" schema);
+  ignore (require "seed" (Option.bind (Obs.Json.member "seed" json) Obs.Json.to_int));
+  ignore
+    (require "git_rev"
+       (Option.bind (Obs.Json.member "git_rev" json) Obs.Json.to_string));
+  let kernels =
+    require "kernels" (Option.bind (Obs.Json.member "kernels" json) Obs.Json.to_list)
+  in
+  if kernels = [] then fail 1 "kernels array is empty";
+  List.iteri check_kernel kernels;
+  Printf.printf "benchcheck: %s ok (%d kernels, schema divrel-bench/1)\n" path
+    (List.length kernels)

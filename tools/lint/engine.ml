@@ -13,9 +13,18 @@ type rule =
   | Missing_mli (* R4: lib module without an interface file *)
   | Print_effect (* R5: printing side effect in lib/ outside lib/report/ *)
   | Partial_fun (* R6: partial function (List.hd / List.nth / Option.get) *)
+  | Wallclock (* R7: non-monotonic time source outside lib/obs/ *)
 
 let all_rules =
-  [ Float_eq; Random_use; Float_sum; Missing_mli; Print_effect; Partial_fun ]
+  [
+    Float_eq;
+    Random_use;
+    Float_sum;
+    Missing_mli;
+    Print_effect;
+    Partial_fun;
+    Wallclock;
+  ]
 
 let rule_id = function
   | Float_eq -> "R1"
@@ -24,6 +33,7 @@ let rule_id = function
   | Missing_mli -> "R4"
   | Print_effect -> "R5"
   | Partial_fun -> "R6"
+  | Wallclock -> "R7"
 
 let rule_slug = function
   | Float_eq -> "float-eq"
@@ -32,6 +42,7 @@ let rule_slug = function
   | Missing_mli -> "missing-mli"
   | Print_effect -> "print"
   | Partial_fun -> "partial"
+  | Wallclock -> "wallclock"
 
 let rule_of_token tok =
   let tok = String.lowercase_ascii (String.trim tok) in
@@ -119,6 +130,7 @@ type ctx = {
   relpath : string; (* path as reported, used for rule scoping *)
   in_lib : bool;
   in_report : bool;
+  in_obs : bool;
   is_rng : bool;
 }
 
@@ -127,6 +139,7 @@ let make_ctx relpath =
     relpath;
     in_lib = has_prefix ~prefix:"lib/" relpath;
     in_report = has_prefix ~prefix:"lib/report/" relpath;
+    in_obs = has_prefix ~prefix:"lib/obs/" relpath;
     is_rng = relpath = "lib/numerics/rng.ml";
   }
 
@@ -199,6 +212,8 @@ let printer_paths =
 
 let partial_paths = [ "List.hd"; "List.tl"; "List.nth"; "Option.get" ]
 
+let wallclock_paths = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
 (* ------------------------------------------------------------------ *)
 (* The walk                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -234,6 +249,11 @@ let message rule detail =
         "partial function %s in lib/; match explicitly or use the _opt \
          variant"
         detail
+  | Wallclock ->
+      Printf.sprintf
+        "%s: non-monotonic time source outside lib/obs/; route all timing \
+         through the monotonic Obs.Clock"
+        detail
 
 let findings_of_structure ctx structure =
   let acc = ref [] in
@@ -264,7 +284,9 @@ let findings_of_structure ctx structure =
     if ctx.in_lib && (not ctx.in_report) && List.mem path printer_paths then
       add loc Print_effect path;
     if ctx.in_lib && List.mem path partial_paths then
-      add loc Partial_fun path
+      add loc Partial_fun path;
+    if (not ctx.in_obs) && List.mem path wallclock_paths then
+      add loc Wallclock path
   in
   let check_apply (e : Parsetree.expression) fn args =
     match fn.Parsetree.pexp_desc with

@@ -13,11 +13,14 @@ type rule =
   | Missing_mli  (** R4: [lib/] module without an interface file *)
   | Print_effect  (** R5: printing side effect in [lib/] outside [lib/report/] *)
   | Partial_fun  (** R6: partial function ([List.hd] / [List.nth] / [Option.get]) *)
+  | Wallclock
+      (** R7: non-monotonic time source ([Unix.gettimeofday] / [Unix.time] /
+          [Sys.time]) outside [lib/obs/] *)
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] .. ["R6"]. *)
+(** ["R1"] .. ["R7"]. *)
 
 val rule_slug : rule -> string
 (** Stable lowercase name used in suppression comments, e.g. ["float-eq"]. *)

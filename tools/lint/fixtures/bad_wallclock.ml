@@ -1,0 +1,5 @@
+(* Known-bad R7 corpus: non-monotonic time sources outside lib/obs/. *)
+
+let wall () = Unix.gettimeofday ()
+let seconds () = Unix.time ()
+let cpu () = Sys.time ()
