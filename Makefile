@@ -16,11 +16,16 @@ bench-json:
 	GIT_REV=$$(git rev-parse --short HEAD) dune exec bench/main.exe -- json -o BENCH_kernels.json
 	dune exec tools/benchcheck/benchcheck.exe -- BENCH_kernels.json
 
-# The single-command gate CI should run (equivalently: dune build @ci).
+# The single-command gate CI should run. The test suite executes twice,
+# on a 1-domain (inline sequential) and a 2-domain default pool: the
+# determinism contract says the outputs cannot differ, and running both
+# ways keeps that claim continuously tested. (--force, because dune
+# would otherwise replay the cached first run.)
 check:
 	dune build @lint
 	dune build
-	dune runtest
+	DIVREL_DOMAINS=1 dune runtest --force
+	DIVREL_DOMAINS=2 dune runtest --force
 	dune build @bench-smoke
 
 clean:

@@ -9,7 +9,12 @@
    (counters, gauges, PFD histograms, RNG draw counts), --trace FILE a
    Chrome trace-event file of the nested simulator spans, --log FILE a
    JSONL structured run log. Instrumentation is off unless requested and
-   never perturbs the experiments: same seeds, same outputs. *)
+   never perturbs the experiments: same seeds, same outputs.
+
+   Parallelism (run / all): --domains N sizes the default Exec pool
+   (also settable via DIVREL_DOMAINS), --shards M sets the default
+   shard count of the sharded library entry points. Domains never
+   change results; shards change them deterministically. *)
 
 open Cmdliner
 
@@ -35,6 +40,25 @@ let metrics_arg =
 let log_arg =
   let doc = "Write a JSONL structured run log (one event object per line)." in
   Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+
+let domains_arg =
+  let doc =
+    "Size of the default execution pool (worker domains). Overrides the \
+     DIVREL_DOMAINS environment variable. Results are independent of this \
+     value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let shards_arg =
+  let doc =
+    "Default shard count for sharded map-reduce entry points. Part of the \
+     deterministic contract: outputs are a pure function of (seed, shards)."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"M" ~doc)
+
+let setup_parallelism domains shards =
+  Option.iter Exec.Pool.set_default_domains domains;
+  Option.iter Exec.set_default_shards shards
 
 (* Process-wide RNG consumption, reported in the metrics snapshot. *)
 let m_rng_draws = Obs.Metrics.counter "rng.draws"
@@ -109,8 +133,9 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id, e.g. E04 (see 'list').")
   in
-  let run id seed trace metrics log =
+  let run id seed trace metrics log domains shards =
     setup_logs ();
+    setup_parallelism domains shards;
     match Experiments.Registry.find id with
     | Some e ->
         let rendered =
@@ -129,11 +154,14 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment by id")
     Term.(
-      ret (const run $ id_arg $ seed_arg $ trace_arg $ metrics_arg $ log_arg))
+      ret
+        (const run $ id_arg $ seed_arg $ trace_arg $ metrics_arg $ log_arg
+       $ domains_arg $ shards_arg))
 
 let all_cmd =
-  let run seed trace metrics log =
+  let run seed trace metrics log domains shards =
     setup_logs ();
+    setup_parallelism domains shards;
     let rendered =
       with_telemetry ~label:"experiments.all" ~seed ~trace ~metrics ~log
         (fun () -> Experiments.Registry.render_all ~seed ())
@@ -142,7 +170,9 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in order")
-    Term.(const run $ seed_arg $ trace_arg $ metrics_arg $ log_arg)
+    Term.(
+      const run $ seed_arg $ trace_arg $ metrics_arg $ log_arg $ domains_arg
+      $ shards_arg)
 
 let main =
   let doc =

@@ -91,28 +91,51 @@ let sample t rng =
 
 let max_exact_faults = 22
 
-(* Exact distribution of sum of independent {0, q_i} variables with
-   P(q_i) = probs.(i): breadth-first doubling over sorted support lists. *)
-let exact_of_vectors ~probs ~values =
-  let n = Array.length probs in
-  if n <> Array.length values then
-    invalid_arg "Pfd_dist.exact_of_vectors: length mismatch";
-  if n > max_exact_faults then
-    invalid_arg
-      (Printf.sprintf
-         "Pfd_dist.exact_of_vectors: %d faults exceeds the exact-enumeration \
-          limit of %d; use grid_of_vectors"
-         n max_exact_faults);
-  (* dist held as sorted (value, mass) arrays; each fault merges the
-     shifted copy in linear time. *)
+(* Coalescing 2-way merge of sorted (value, mass) streams; masses of
+   equal support points add in encounter order, exactly as the doubling
+   convolution's push does. *)
+let merge_streams (xs1, ws1) (xs2, ws2) =
+  let m1 = Array.length xs1 and m2 = Array.length xs2 in
+  if m1 = 0 then (xs2, ws2)
+  else if m2 = 0 then (xs1, ws1)
+  else begin
+    let nxs = Array.make (m1 + m2) 0.0 and nws = Array.make (m1 + m2) 0.0 in
+    let a = ref 0 and b = ref 0 and out = ref 0 in
+    let push x w =
+      if !out > 0 && nxs.(!out - 1) = x then nws.(!out - 1) <- nws.(!out - 1) +. w
+      else begin
+        nxs.(!out) <- x;
+        nws.(!out) <- w;
+        incr out
+      end
+    in
+    while !a < m1 || !b < m2 do
+      let xa = if !a < m1 then xs1.(!a) else infinity in
+      let xb = if !b < m2 then xs2.(!b) else infinity in
+      if xa <= xb then begin
+        push xa ws1.(!a);
+        incr a
+      end
+      else begin
+        push xb ws2.(!b);
+        incr b
+      end
+    done;
+    (Array.sub nxs 0 !out, Array.sub nws 0 !out)
+  end
+
+(* Breadth-first doubling over faults [lo, hi): dist held as sorted
+   (value, mass) arrays; each fault merges the shifted copy in linear
+   time. *)
+let convolve_range ~probs ~values lo hi =
   let xs = ref [| 0.0 |] and ws = ref [| 1.0 |] in
-  for i = 0 to n - 1 do
+  for i = lo to hi - 1 do
     let p = probs.(i) and q = values.(i) in
     if p > 0.0 then begin
       let old_xs = !xs and old_ws = !ws in
       let m = Array.length old_xs in
       let nxs = Array.make (2 * m) 0.0 and nws = Array.make (2 * m) 0.0 in
-      (* merge (old, weight (1-p)) with (old + q, weight p) *)
+      (* fused merge of (old, weight (1-p)) with (old + q, weight p) *)
       let a = ref 0 and b = ref 0 and out = ref 0 in
       let push x w =
         if !out > 0 && nxs.(!out - 1) = x then nws.(!out - 1) <- nws.(!out - 1) +. w
@@ -138,35 +161,137 @@ let exact_of_vectors ~probs ~values =
       ws := Array.sub nws 0 !out
     end
   done;
-  let pairs = Array.to_list (Array.map2 (fun x w -> (x, w)) !xs !ws) in
+  (!xs, !ws)
+
+(* Exact distribution of sum of independent {0, q_i} variables with
+   P(q_i) = probs.(i).
+
+   Sequential (shards = 1, the default): one doubling pass — the legacy
+   kernel, byte-for-byte. Sharded: split the faults into a *head* of
+   s = floor(log2 shards) faults and a tail; each of the 2^s shards owns
+   one head outcome (a subset of present head faults), scales and shifts
+   the shared tail distribution by that outcome's mass and offset, and
+   the 2^s streams reduce through a balanced pairwise merge tree whose
+   levels run on the pool. Given a shard count the result is
+   deterministic for any domain count; sharded mass sums may associate
+   differently from the sequential pass (ulp-level), which is why the
+   default stays 1. *)
+let exact_of_vectors ?pool ?(shards = 1) ~probs ~values () =
+  let n = Array.length probs in
+  if n <> Array.length values then
+    invalid_arg "Pfd_dist.exact_of_vectors: length mismatch";
+  if n > max_exact_faults then
+    invalid_arg
+      (Printf.sprintf
+         "Pfd_dist.exact_of_vectors: %d faults exceeds the exact-enumeration \
+          limit of %d; use grid_of_vectors"
+         n max_exact_faults);
+  if shards < 1 then invalid_arg "Pfd_dist.exact_of_vectors: shards must be >= 1";
+  let head_bits =
+    let rec log2_floor acc s = if s >= 2 then log2_floor (acc + 1) (s / 2) else acc in
+    min (log2_floor 0 shards) (max 0 (n - 1))
+  in
+  let xs, ws =
+    if head_bits = 0 then convolve_range ~probs ~values 0 n
+    else begin
+      let tail_xs, tail_ws = convolve_range ~probs ~values head_bits n in
+      let m = Array.length tail_xs in
+      let nstreams = 1 lsl head_bits in
+      let streams =
+        Exec.map_shards ?pool ~shards:nstreams
+          ~f:(fun k ->
+            (* Head outcome k: bit i of k decides whether head fault i is
+               present. *)
+            let mass = ref 1.0 in
+            let offset = Kahan.create () in
+            for i = 0 to head_bits - 1 do
+              if k land (1 lsl i) <> 0 then begin
+                mass := !mass *. probs.(i);
+                Kahan.add offset values.(i)
+              end
+              else mass := !mass *. (1.0 -. probs.(i))
+            done;
+            if !mass <= 0.0 then ([||], [||])
+            else begin
+              let off = Kahan.total offset in
+              let mass = !mass in
+              ( Array.init m (fun j -> tail_xs.(j) +. off),
+                Array.init m (fun j -> tail_ws.(j) *. mass) )
+            end)
+          ()
+      in
+      let rec reduce streams =
+        let len = Array.length streams in
+        if len = 1 then streams.(0)
+        else begin
+          let pairs = len / 2 in
+          let merged =
+            Exec.map_shards ?pool ~shards:pairs
+              ~f:(fun k -> merge_streams streams.(2 * k) streams.((2 * k) + 1))
+              ()
+          in
+          let next =
+            if len mod 2 = 0 then merged
+            else Array.append merged [| streams.(len - 1) |]
+          in
+          reduce next
+        end
+      in
+      reduce streams
+    end
+  in
+  let pairs = Array.to_list (Array.map2 (fun x w -> (x, w)) xs ws) in
   of_mass pairs
 
-let exact_single u = exact_of_vectors ~probs:(Universe.ps u) ~values:(Universe.qs u)
+let exact_single ?pool ?shards u =
+  exact_of_vectors ?pool ?shards ~probs:(Universe.ps u) ~values:(Universe.qs u) ()
 
-let exact_pair u =
-  exact_of_vectors
+let exact_pair ?pool ?shards u =
+  exact_of_vectors ?pool ?shards
     ~probs:(Array.map (fun p -> p *. p) (Universe.ps u))
-    ~values:(Universe.qs u)
+    ~values:(Universe.qs u) ()
 
-let exact_nk u ~channels =
+let exact_nk ?pool ?shards u ~channels =
   if channels < 1 then invalid_arg "Pfd_dist.exact_nk: channels < 1";
-  exact_of_vectors
+  exact_of_vectors ?pool ?shards
     ~probs:(Array.map (fun p -> p ** float_of_int channels) (Universe.ps u))
-    ~values:(Universe.qs u)
+    ~values:(Universe.qs u) ()
+
+(* Below this many active bins a fault's update is a few microseconds of
+   arithmetic — cheaper than dispatching shard tasks — so the sharded
+   grid path only engages on large grids. Purely a scheduling threshold:
+   both paths compute bit-identical values. *)
+let grid_parallel_min_bins = 32768
 
 (* Grid approximation: round every q_i to a multiple of the grid step and
    run the same convolution on a dense array. The support error per fault
    is at most half a step, so the total displacement is bounded by
-   n * step / 2. *)
-let grid_of_vectors ~probs ~values ~bins =
+   n * step / 2.
+
+   The sequential kernel updates in place, scanning j downward so that
+   dist.(j - shift) is always read pre-update. The sharded kernel writes
+   the same expression into a second buffer (reads all pre-update by
+   construction) over disjoint bin slices, then swaps buffers: every bin
+   gets the identical keep/arrive arithmetic, so grid results are
+   bit-identical for any (shards, domains) combination. *)
+let grid_of_vectors ?pool ?shards ~probs ~values ~bins () =
   let n = Array.length probs in
   if n <> Array.length values then
     invalid_arg "Pfd_dist.grid_of_vectors: length mismatch";
   if bins < 2 then invalid_arg "Pfd_dist.grid_of_vectors: need at least 2 bins";
+  let shards =
+    match shards with Some s -> s | None -> Exec.default_shards ()
+  in
+  if shards < 1 then invalid_arg "Pfd_dist.grid_of_vectors: shards must be >= 1";
   let total = Kahan.sum_array values in
   let step = if total > 0.0 then total /. float_of_int (bins - 1) else 1.0 in
-  let dist = Array.make bins 0.0 in
-  dist.(0) <- 1.0;
+  let cur = ref (Array.make bins 0.0) in
+  (* Spare buffer for the sharded path; stale entries are harmless: a
+     sharded round overwrites [0, new_top] entirely, and indices above
+     any round's new_top have never been written (tops only grow), so
+     they still hold the initial zeros the mass invariant requires. *)
+  let spare = ref (Array.make bins 0.0) in
+  !cur.(0) <- 1.0;
   let top = ref 0 in
   for i = 0 to n - 1 do
     let p = probs.(i) in
@@ -181,28 +306,51 @@ let grid_of_vectors ~probs ~values ~bins =
       end
       else begin
         let new_top = min (bins - 1) (!top + shift) in
-        for j = new_top downto 0 do
-          let keep = dist.(j) *. (1.0 -. p) in
-          let arrive = if j >= shift then dist.(j - shift) *. p else 0.0 in
-          dist.(j) <- keep +. arrive
-        done;
+        if shards > 1 && new_top + 1 >= grid_parallel_min_bins then begin
+          let src = !cur and dst = !spare in
+          let bounds = Exec.shard_bounds ~range:(new_top + 1) ~shards in
+          ignore
+            (Exec.map_shards ?pool ~shards
+               ~f:(fun k ->
+                 let lo, len = bounds.(k) in
+                 for j = lo to lo + len - 1 do
+                   let keep = src.(j) *. (1.0 -. p) in
+                   let arrive =
+                     if j >= shift then src.(j - shift) *. p else 0.0
+                   in
+                   dst.(j) <- keep +. arrive
+                 done)
+               ());
+          cur := dst;
+          spare := src
+        end
+        else begin
+          let dist = !cur in
+          for j = new_top downto 0 do
+            let keep = dist.(j) *. (1.0 -. p) in
+            let arrive = if j >= shift then dist.(j - shift) *. p else 0.0 in
+            dist.(j) <- keep +. arrive
+          done
+        end;
         top := new_top
       end
     end
   done;
+  let dist = !cur in
   let pairs = ref [] in
   for j = bins - 1 downto 0 do
     if dist.(j) > 0.0 then pairs := (float_of_int j *. step, dist.(j)) :: !pairs
   done;
   of_mass !pairs
 
-let grid_single u ~bins =
-  grid_of_vectors ~probs:(Universe.ps u) ~values:(Universe.qs u) ~bins
+let grid_single ?pool ?shards u ~bins =
+  grid_of_vectors ?pool ?shards ~probs:(Universe.ps u) ~values:(Universe.qs u)
+    ~bins ()
 
-let grid_pair u ~bins =
-  grid_of_vectors
+let grid_pair ?pool ?shards u ~bins =
+  grid_of_vectors ?pool ?shards
     ~probs:(Array.map (fun p -> p *. p) (Universe.ps u))
-    ~values:(Universe.qs u) ~bins
+    ~values:(Universe.qs u) ~bins ()
 
 let single u =
   if Universe.size u <= max_exact_faults then exact_single u

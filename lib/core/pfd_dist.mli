@@ -46,26 +46,50 @@ val max_exact_faults : int
 (** Largest universe size accepted by exact enumeration (22: 4M support
     points before merging). *)
 
-val exact_of_vectors : probs:float array -> values:float array -> t
+val exact_of_vectors :
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
+  probs:float array ->
+  values:float array ->
+  unit ->
+  t
 (** Exact distribution of a sum of independent two-point variables taking
-    value [values.(i)] with probability [probs.(i)], else 0. *)
+    value [values.(i)] with probability [probs.(i)], else 0.
 
-val exact_single : Universe.t -> t
+    [shards = 1] (the default) is the legacy sequential doubling pass.
+    With more shards, the outcomes of the first floor(log2 shards) faults
+    are enumerated as scaled, shifted copies of the shared
+    remaining-fault distribution and reduced through a pairwise merge
+    tree on the pool; the result is deterministic in [shards] (domain
+    count never matters) but its mass sums may differ from the
+    sequential pass at ulp level, hence the conservative default. *)
+
+val exact_single : ?pool:Exec.Pool.t -> ?shards:int -> Universe.t -> t
 (** Exact distribution of Theta_1. *)
 
-val exact_pair : Universe.t -> t
+val exact_pair : ?pool:Exec.Pool.t -> ?shards:int -> Universe.t -> t
 (** Exact distribution of Theta_2 (introduction probabilities p_i^2). *)
 
-val exact_nk : Universe.t -> channels:int -> t
+val exact_nk : ?pool:Exec.Pool.t -> ?shards:int -> Universe.t -> channels:int -> t
 (** Exact distribution of the PFD of a 1-out-of-N system. *)
 
-val grid_of_vectors : probs:float array -> values:float array -> bins:int -> t
+val grid_of_vectors :
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
+  probs:float array ->
+  values:float array ->
+  bins:int ->
+  unit ->
+  t
 (** Grid convolution: every region measure is rounded to a multiple of
     total_q/(bins-1); the support displacement is at most n*step/2.
-    Handles thousands of faults. *)
+    Handles thousands of faults. Large grids (>= 32768 active bins)
+    shard each fault's dense update across the pool; sharded and
+    sequential paths compute bit-identical values, so the result never
+    depends on shards or domain count. *)
 
-val grid_single : Universe.t -> bins:int -> t
-val grid_pair : Universe.t -> bins:int -> t
+val grid_single : ?pool:Exec.Pool.t -> ?shards:int -> Universe.t -> bins:int -> t
+val grid_pair : ?pool:Exec.Pool.t -> ?shards:int -> Universe.t -> bins:int -> t
 
 val single : Universe.t -> t
 (** Exact when the universe is small enough, otherwise a 4096-bin grid. *)

@@ -19,8 +19,29 @@ let risk_ratio_partial ps i =
     let ds2 = 2.0 *. ps.(i) *. prod_except_squared ps i in
     ((ds2 *. s1) -. (s2 *. ds1)) /. (s1 *. s1)
 
-let risk_ratio_gradient ps =
-  Array.init (Array.length ps) (fun i -> risk_ratio_partial ps i)
+let risk_ratio_gradient ?pool ?shards ps =
+  (* Each partial is O(n), the gradient O(n^2); the partials are pure, so
+     they shard over index slices into a preallocated result array. Every
+     shard writes exactly what the sequential loop would — no RNG, no
+     merge — so the output is independent of both pool size and shard
+     count here. *)
+  let n = Array.length ps in
+  let shards =
+    let s = match shards with Some s -> s | None -> Exec.default_shards () in
+    if s < 1 then invalid_arg "Sensitivity.risk_ratio_gradient: shards must be >= 1";
+    min s (max 1 n)
+  in
+  let grad = Array.make n 0.0 in
+  let bounds = Exec.shard_bounds ~range:n ~shards in
+  ignore
+    (Exec.map_shards ?pool ~shards
+       ~f:(fun k ->
+         let lo, len = bounds.(k) in
+         for i = lo to lo + len - 1 do
+           grad.(i) <- risk_ratio_partial ps i
+         done)
+       ());
+  grad
 
 let risk_ratio_k_derivative ~b ~k =
   (* Chain rule for p_i = k b_i: dR/dk = sum_i b_i dR/dp_i. Appendix B

@@ -13,8 +13,11 @@ val risk_ratio_partial : float array -> int -> float
     p_i (closed form, cross-validated against numerical differentiation in
     the test suite). NaN when all probabilities are 0. *)
 
-val risk_ratio_gradient : float array -> float array
-(** All partial derivatives. *)
+val risk_ratio_gradient :
+  ?pool:Exec.Pool.t -> ?shards:int -> float array -> float array
+(** All partial derivatives. The pure per-index work shards across the
+    pool; the result is identical to the sequential loop for any pool
+    size or shard count. *)
 
 val risk_ratio_k_derivative : b:float array -> k:float -> float
 (** Appendix B: with p_i = k * b_i, the derivative of the risk ratio with

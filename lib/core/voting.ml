@@ -49,7 +49,7 @@ let risk_ratio_vs_single t u =
 
 let pfd_dist t u =
   Pfd_dist.exact_of_vectors ~probs:(system_fault_probs t u)
-    ~values:(Universe.qs u)
+    ~values:(Universe.qs u) ()
 
 let confidence_bound t u ~k = mu t u +. (k *. sigma t u)
 

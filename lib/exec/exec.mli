@@ -1,0 +1,47 @@
+(** Deterministic sharded map-reduce over a {!Pool} of domains.
+
+    Determinism contract: a parallel computation is split into a fixed
+    number of [shards]; shard [k] derives its randomness from
+    [Rng.split parent ~index:k] and its slice of the work from
+    {!shard_bounds}; results are merged in shard order. The output is a
+    pure function of [(seed, shards)] and is byte-identical for any
+    domain count, including a 1-domain (fully sequential) pool. Changing
+    [shards] changes outputs — deterministically — which is why the
+    default is a fixed constant rather than a hardware-derived value. *)
+
+module Pool = Pool
+
+val default_shards : unit -> int
+(** Shard count used by library entry points when the caller passes no
+    [~shards]; 16 unless overridden by {!set_default_shards}. *)
+
+val set_default_shards : int -> unit
+(** Override {!default_shards} (>= 1); wired to the [--shards] CLI
+    flags. Changes downstream outputs deterministically. *)
+
+val shard_bounds : range:int -> shards:int -> (int * int) array
+(** [(lo, len)] per shard: contiguous, disjoint, covering [0, range);
+    lengths differ by at most one (the first [range mod shards] shards
+    take the extra element). Shards beyond [range] get [len = 0]. *)
+
+val split_rngs : Numerics.Rng.t -> shards:int -> Numerics.Rng.t array
+(** One independent substream per shard, derived with
+    [Rng.split ~index:k]. Advances the parent by exactly [shards]
+    draws. *)
+
+val map_shards :
+  ?pool:Pool.t -> shards:int -> f:(int -> 'a) -> unit -> 'a array
+(** Run [f 0 .. f (shards-1)] on the pool (default: {!Pool.default}),
+    returning results in shard order. Each shard runs under
+    [Obs.Trace.with_shard k] so trace spans from parallel regions stay
+    well-nested per shard. *)
+
+val map_reduce :
+  ?pool:Pool.t ->
+  shards:int ->
+  f:(int -> 'a) ->
+  merge:('a -> 'a -> 'a) ->
+  unit ->
+  'a
+(** {!map_shards} followed by a left fold of [merge] in shard order:
+    [merge (... merge (merge r0 r1) r2 ...) r(shards-1)]. *)

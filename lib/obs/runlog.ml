@@ -7,11 +7,21 @@
    on the disabled path. Each event carries the event kind, a sequence
    number and a monotonic timestamp; the caller serialises with
    [to_jsonl] (one object per line) and writes the file itself — this
-   module performs no I/O. *)
+   module performs no I/O.
 
-type t = { mutable events_rev : Json.t list; mutable count : int }
+   Domain safety: appends are serialised by a per-log mutex (taken only
+   when a sink is installed, so the disabled path stays lock-free).
+   Deterministic event *order* under parallelism is the caller's job:
+   lib/exec call sites collect per-shard outcomes and record them in
+   shard order at join rather than logging from worker domains. *)
 
-let create () = { events_rev = []; count = 0 }
+type t = {
+  lock : Mutex.t;
+  mutable events_rev : Json.t list;
+  mutable count : int;
+}
+
+let create () = { lock = Mutex.create (); events_rev = []; count = 0 }
 
 let global : t option ref = ref None
 
@@ -23,6 +33,7 @@ let record ~kind fields =
   match !global with
   | None -> ()
   | Some t ->
+      Mutex.lock t.lock;
       t.count <- t.count + 1;
       t.events_rev <-
         Json.Obj
@@ -30,7 +41,8 @@ let record ~kind fields =
           :: ("seq", Json.Int t.count)
           :: ("t_ns", Json.Int (Int64.to_int (Clock.now_ns ())))
           :: fields)
-        :: t.events_rev
+        :: t.events_rev;
+      Mutex.unlock t.lock
 
 let size t = t.count
 let events t = List.rev t.events_rev

@@ -5,10 +5,22 @@
     branch and returns the null handle, and {!leave} on it is a no-op, so
     spans can be left permanently in hot loops. Spans are recorded in
     start order with their nesting depth taken from the currently open
-    spans. *)
+    spans {e of the same shard}: each shard (see {!with_shard}, applied
+    by [Exec.map_shards] to every worker task) keeps its own open-span
+    stack, so traces from parallel runs remain well-nested per shard.
+    While enabled, recording is protected by a mutex and safe to use
+    from multiple domains. *)
 
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool
+
+val with_shard : int -> (unit -> 'a) -> 'a
+(** [with_shard k f] runs [f] with spans attributed to shard [k]
+    (domain-local state; restored on exit). Code outside any sharded
+    region records under shard 0. *)
+
+val current_shard : unit -> int
+(** The shard id spans opened by this domain are attributed to. *)
 
 type handle
 (** Token returned by {!enter}; pass it to {!leave}. *)
@@ -31,7 +43,13 @@ val with_span : string -> (unit -> 'a) -> 'a
 val reset : unit -> unit
 (** Drop all recorded spans and any open-span state. *)
 
-type span = { name : string; depth : int; start_ns : int64; dur_ns : int64 }
+type span = {
+  name : string;
+  shard : int;  (** owning shard (Chrome export ["tid"]); 0 outside sharded regions *)
+  depth : int;
+  start_ns : int64;
+  dur_ns : int64;
+}
 (** Immutable view of a recorded span; [dur_ns] is [-1] while open. *)
 
 val spans : unit -> span list

@@ -38,47 +38,72 @@ type mttf_estimate = {
   failure_rate : float;  (** total failures / total demands observed *)
 }
 
-let estimate_mttf rng ~system ~missions ~max_demands =
+let estimate_mttf ?pool ?shards rng ~system ~missions ~max_demands =
   if missions <= 0 then
     invalid_arg "Campaign.estimate_mttf: missions must be positive";
+  let shards =
+    match shards with Some s -> s | None -> Exec.default_shards ()
+  in
+  if shards < 1 then invalid_arg "Campaign.estimate_mttf: shards must be >= 1";
   let span = Obs.Trace.enter "campaign.estimate_mttf" in
+  (* Missions are independent: each shard drives its contiguous slice on
+     its own substream, writing into the shared outcome array (disjoint
+     slices). Per-mission spans open on the worker and are attributed to
+     the owning shard's trace lane. *)
+  let outcomes = Array.make missions Survived in
+  let child_rngs = Exec.split_rngs rng ~shards in
+  let bounds = Exec.shard_bounds ~range:missions ~shards in
+  ignore
+    (Exec.map_shards ?pool ~shards
+       ~f:(fun k ->
+         let lo, len = bounds.(k) in
+         let rng_k = child_rngs.(k) in
+         for m = lo to lo + len - 1 do
+           let mission_span = Obs.Trace.enter "campaign.mission" in
+           outcomes.(m) <- time_to_first_failure rng_k ~system ~max_demands;
+           Obs.Trace.leave mission_span
+         done)
+       ());
+  (* Join: replay the outcomes in mission order, so tallies, metrics, the
+     running gauge and the run log are identical to a sequential pass
+     over the same outcome sequence regardless of the pool size. *)
   let failures = ref 0 in
   let censored = ref 0 in
   let total_time = ref 0 in
   let failure_time = ref 0 in
-  for mission = 1 to missions do
-    let mission_span = Obs.Trace.enter "campaign.mission" in
-    (match time_to_first_failure rng ~system ~max_demands with
-    | Failed_at t ->
-        incr failures;
-        failure_time := !failure_time + t;
-        total_time := !total_time + t;
-        Obs.Metrics.incr m_failures;
-        Obs.Metrics.observe h_time_to_failure (float_of_int t);
-        if Obs.Runlog.active () then
-          Obs.Runlog.record ~kind:"campaign.mission"
-            [
-              ("mission", Obs.Json.Int mission);
-              ("outcome", Obs.Json.String "failed");
-              ("failed_at", Obs.Json.Int t);
-            ]
-    | Survived ->
-        incr censored;
-        total_time := !total_time + max_demands;
-        Obs.Metrics.incr m_censored;
-        if Obs.Runlog.active () then
-          Obs.Runlog.record ~kind:"campaign.mission"
-            [
-              ("mission", Obs.Json.Int mission);
-              ("outcome", Obs.Json.String "survived");
-              ("max_demands", Obs.Json.Int max_demands);
-            ]);
-    Obs.Metrics.incr m_missions;
-    if Obs.Metrics.is_enabled () then
-      Obs.Metrics.set g_failure_rate
-        (float_of_int !failures /. float_of_int !total_time);
-    Obs.Trace.leave mission_span
-  done;
+  Array.iteri
+    (fun m outcome ->
+      let mission = m + 1 in
+      (match outcome with
+      | Failed_at t ->
+          incr failures;
+          failure_time := !failure_time + t;
+          total_time := !total_time + t;
+          Obs.Metrics.incr m_failures;
+          Obs.Metrics.observe h_time_to_failure (float_of_int t);
+          if Obs.Runlog.active () then
+            Obs.Runlog.record ~kind:"campaign.mission"
+              [
+                ("mission", Obs.Json.Int mission);
+                ("outcome", Obs.Json.String "failed");
+                ("failed_at", Obs.Json.Int t);
+              ]
+      | Survived ->
+          incr censored;
+          total_time := !total_time + max_demands;
+          Obs.Metrics.incr m_censored;
+          if Obs.Runlog.active () then
+            Obs.Runlog.record ~kind:"campaign.mission"
+              [
+                ("mission", Obs.Json.Int mission);
+                ("outcome", Obs.Json.String "survived");
+                ("max_demands", Obs.Json.Int max_demands);
+              ]);
+      Obs.Metrics.incr m_missions;
+      if Obs.Metrics.is_enabled () then
+        Obs.Metrics.set g_failure_rate
+          (float_of_int !failures /. float_of_int !total_time))
+    outcomes;
   Obs.Trace.leave span;
   {
     missions;
@@ -100,18 +125,34 @@ let mission_survival_probability ~pfd ~mission_demands =
     invalid_arg "Campaign.mission_survival_probability: negative mission length";
   exp (float_of_int mission_demands *. Special.log1p (-.pfd))
 
-let simulate_mission_survival rng ~system ~mission_demands ~missions =
+let simulate_mission_survival ?pool ?shards rng ~system ~mission_demands
+    ~missions =
   if missions <= 0 then
     invalid_arg "Campaign.simulate_mission_survival: missions must be positive";
+  let shards =
+    match shards with Some s -> s | None -> Exec.default_shards ()
+  in
   let span = Obs.Trace.enter "campaign.simulate_mission_survival" in
-  let survived = ref 0 in
-  for _ = 1 to missions do
-    (match time_to_first_failure rng ~system ~max_demands:mission_demands with
-    | Survived -> incr survived
-    | Failed_at _ -> ());
-    Obs.Metrics.incr m_missions
-  done;
-  let fraction = float_of_int !survived /. float_of_int missions in
+  let child_rngs = Exec.split_rngs rng ~shards in
+  let bounds = Exec.shard_bounds ~range:missions ~shards in
+  let survived =
+    Exec.map_reduce ?pool ~shards
+      ~f:(fun k ->
+        let _, len = bounds.(k) in
+        let rng_k = child_rngs.(k) in
+        let survived = ref 0 in
+        for _ = 1 to len do
+          match
+            time_to_first_failure rng_k ~system ~max_demands:mission_demands
+          with
+          | Survived -> incr survived
+          | Failed_at _ -> ()
+        done;
+        !survived)
+      ~merge:( + ) ()
+  in
+  Obs.Metrics.add m_missions missions;
+  let fraction = float_of_int survived /. float_of_int missions in
   Obs.Metrics.set g_survival fraction;
   Obs.Trace.leave span;
   fraction

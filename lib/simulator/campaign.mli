@@ -23,8 +23,18 @@ type mttf_estimate = {
 }
 
 val estimate_mttf :
-  Numerics.Rng.t -> system:Protection.t -> missions:int -> max_demands:int -> mttf_estimate
-(** Replicated missions against a fixed system. *)
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
+  Numerics.Rng.t ->
+  system:Protection.t ->
+  missions:int ->
+  max_demands:int ->
+  mttf_estimate
+(** Replicated missions against a fixed system. Missions shard
+    deterministically (default {!Exec.default_shards} shards, each on its
+    own [Rng.split] substream); outcomes are replayed in mission order at
+    join, so the estimate, metrics and run log depend only on
+    (seed, shards), never on the pool size. *)
 
 val theoretical_mttf : pfd:float -> float
 (** 1/PFD (demands), infinite for a perfect system. *)
@@ -33,8 +43,15 @@ val mission_survival_probability : pfd:float -> mission_demands:int -> float
 (** (1-PFD)^T without cancellation for small PFD. *)
 
 val simulate_mission_survival :
-  Numerics.Rng.t -> system:Protection.t -> mission_demands:int -> missions:int -> float
-(** Empirical counterpart of {!mission_survival_probability}. *)
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
+  Numerics.Rng.t ->
+  system:Protection.t ->
+  mission_demands:int ->
+  missions:int ->
+  float
+(** Empirical counterpart of {!mission_survival_probability}; sharded
+    like {!estimate_mttf}. *)
 
 type architecture_report = {
   label : string;

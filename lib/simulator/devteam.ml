@@ -20,21 +20,81 @@ let develop_pair rng space = (develop rng space, develop rng space)
 
 let develop_many rng space ~count = Array.init count (fun _ -> develop rng space)
 
-let version_pfd_from_universe rng universe =
-  (* Abstract development: sample the fault set and return the model PFD
-     (sum of the q_i of the present faults) without materialising regions. *)
-  let present = sample_fault_set rng universe in
-  Kahan.sum_list
-    (List.map (fun i -> Core.Fault.q (Core.Universe.fault universe i)) present)
+(* ------------------------------------------------------------------ *)
+(* Compiled universes                                                 *)
+(* ------------------------------------------------------------------ *)
 
-let pair_pfd_from_universe rng universe =
-  let a = sample_fault_set rng universe in
-  let b = sample_fault_set rng universe in
-  let common = List.filter (fun i -> List.mem i b) a in
-  ( Kahan.sum_list
-      (List.map (fun i -> Core.Fault.q (Core.Universe.fault universe i)) a),
-    Kahan.sum_list
-      (List.map (fun i -> Core.Fault.q (Core.Universe.fault universe i)) b),
-    Kahan.sum_list
-      (List.map (fun i -> Core.Fault.q (Core.Universe.fault universe i)) common)
-  )
+(* The abstract-development hot path (millions of sampled versions per
+   Monte Carlo run) compiles the universe once: parameter vectors become
+   plain float arrays and sampled fault sets become bitsets, so a pair
+   draw is two linear sampling passes plus one linear summing pass
+   instead of list building and an O(k^2) list intersection. The scratch
+   bitsets make a compiled universe single-domain: parallel code
+   compiles one per shard (see Montecarlo). *)
+type compiled = {
+  n : int;
+  ps : float array;
+  qs : float array;
+  bits_a : Bitset.t;
+  bits_b : Bitset.t;
+}
+
+let compile universe =
+  let n = Core.Universe.size universe in
+  {
+    n;
+    ps = Core.Universe.ps universe;
+    qs = Core.Universe.qs universe;
+    bits_a = Bitset.create n;
+    bits_b = Bitset.create n;
+  }
+
+(* Draw order must stay i = n-1 downto 0 — the order [sample_fault_set]
+   has always used — so compiled sampling consumes the RNG stream
+   byte-identically to the list-based path. *)
+let sample_into rng c bits =
+  Bitset.reset bits;
+  for i = c.n - 1 downto 0 do
+    if Rng.bool rng ~p:c.ps.(i) then Bitset.set bits i
+  done
+
+(* Summing in ascending index order with [Kahan.add] reproduces
+   [Kahan.sum_list] over the ascending present-index list exactly. *)
+let version_pfd rng c =
+  sample_into rng c c.bits_a;
+  let k = Kahan.create () in
+  for i = 0 to c.n - 1 do
+    if Bitset.mem c.bits_a i then Kahan.add k c.qs.(i)
+  done;
+  Kahan.total k
+
+let pair_pfd rng c =
+  sample_into rng c c.bits_a;
+  sample_into rng c c.bits_b;
+  let ka = Kahan.create () and kb = Kahan.create () and kc = Kahan.create () in
+  for i = 0 to c.n - 1 do
+    let in_a = Bitset.mem c.bits_a i and in_b = Bitset.mem c.bits_b i in
+    if in_a then Kahan.add ka c.qs.(i);
+    if in_b then Kahan.add kb c.qs.(i);
+    if in_a && in_b then Kahan.add kc c.qs.(i)
+  done;
+  (Kahan.total ka, Kahan.total kb, Kahan.total kc)
+
+(* One-slot per-domain cache so the from_universe wrappers stay cheap
+   when called in a loop on one universe (the benchmarks do exactly
+   this). Domain-local storage keeps the mutable scratch contained. *)
+let compiled_cache : (Core.Universe.t * compiled) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let compiled_of universe =
+  let cache = Domain.DLS.get compiled_cache in
+  match !cache with
+  | Some (u, c) when u == universe -> c
+  | _ ->
+      let c = compile universe in
+      cache := Some (universe, c);
+      c
+
+let version_pfd_from_universe rng universe = version_pfd rng (compiled_of universe)
+
+let pair_pfd_from_universe rng universe = pair_pfd rng (compiled_of universe)

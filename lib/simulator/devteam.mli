@@ -22,11 +22,35 @@ val develop_many :
 (** A population of versions (e.g. the 27 of the Knight–Leveson
     replication). *)
 
+(** {2 Compiled abstract development}
+
+    The Monte Carlo hot path samples millions of abstract versions from
+    one universe. Compiling the universe turns its parameter vectors into
+    plain arrays and reuses scratch bitsets for the sampled fault sets,
+    replacing list construction and an O(k{^ 2}) list intersection with
+    three linear passes — while consuming the RNG stream and ordering the
+    compensated sums exactly as the uncompiled path, so results are
+    byte-identical. *)
+
+type compiled
+(** A universe prepared for repeated sampling. Carries mutable scratch:
+    use a compiled universe from one domain only (parallel code compiles
+    one per shard). *)
+
+val compile : Core.Universe.t -> compiled
+(** O(n) preparation of one universe for repeated draws. *)
+
+val version_pfd : Numerics.Rng.t -> compiled -> float
+(** PFD of one sampled version under the non-overlap assumption. *)
+
+val pair_pfd : Numerics.Rng.t -> compiled -> float * float * float
+(** [(pfd_a, pfd_b, pfd_pair)] for an independently developed pair; the
+    pair PFD is the summed measure of the common faults. *)
+
 val version_pfd_from_universe : Numerics.Rng.t -> Core.Universe.t -> float
-(** Abstract development straight from the parameter model: PFD of one
-    sampled version under the non-overlap assumption. *)
+(** [version_pfd] through a per-domain one-slot compile cache, so looping
+    on a single universe pays compilation once. *)
 
 val pair_pfd_from_universe :
   Numerics.Rng.t -> Core.Universe.t -> float * float * float
-(** [(pfd_a, pfd_b, pfd_pair)] for an independently developed pair; the
-    pair PFD is the summed measure of the common faults. *)
+(** [pair_pfd] through the same per-domain compile cache. *)

@@ -2,7 +2,10 @@ open Numerics
 
 (* Telemetry (all no-ops until enabled; see lib/obs): iteration and
    acceptance counters, RNG consumption, and PFD-scale histograms of the
-   sampled single-version and pair PFDs. *)
+   sampled single-version and pair PFDs. Parallel paths accumulate plain
+   ints per shard and feed the instruments once, at join on the calling
+   domain, so histogram/gauge writes never race and metric totals are
+   independent of the domain count. *)
 let m_iterations = Obs.Metrics.counter "montecarlo.iterations"
 let m_n1_pos = Obs.Metrics.counter "montecarlo.theta1_positive"
 let m_n2_pos = Obs.Metrics.counter "montecarlo.theta2_positive"
@@ -12,6 +15,7 @@ let h_theta2 = Obs.Metrics.histogram "montecarlo.theta2"
 
 type estimate = {
   replications : int;
+  shards : int;
   theta1 : Stats.summary;
   theta2 : Stats.summary;
   p_n1_pos : float;
@@ -19,42 +23,80 @@ type estimate = {
   risk_ratio : float;
   theta1_samples : float array;
   theta2_samples : float array;
+  shard_draws : int array;
 }
 
-let estimate rng universe ~replications =
+let estimate ?pool ?shards rng universe ~replications =
   if replications <= 0 then
     invalid_arg "Montecarlo.estimate: replications must be positive";
+  let shards =
+    match shards with Some s -> s | None -> Exec.default_shards ()
+  in
+  if shards < 1 then invalid_arg "Montecarlo.estimate: shards must be >= 1";
   let span = Obs.Trace.enter "montecarlo.estimate" in
   let draws0 = Rng.draws rng in
   let theta1_samples = Array.make replications 0.0 in
   let theta2_samples = Array.make replications 0.0 in
+  (* Deterministic sharding: each shard owns a contiguous slice of the
+     sample arrays and an independent substream, so the result depends on
+     (seed, shards) only — never on the pool's domain count. *)
+  let child_rngs = Exec.split_rngs rng ~shards in
+  let bounds = Exec.shard_bounds ~range:replications ~shards in
+  let per_shard =
+    Exec.map_shards ?pool ~shards
+      ~f:(fun k ->
+        let lo, len = bounds.(k) in
+        let rng_k = child_rngs.(k) in
+        let n1 = ref 0 and n2 = ref 0 in
+        for r = lo to lo + len - 1 do
+          let pfd_a, _pfd_b, pfd_pair =
+            Devteam.pair_pfd_from_universe rng_k universe
+          in
+          theta1_samples.(r) <- pfd_a;
+          theta2_samples.(r) <- pfd_pair;
+          if pfd_a > 0.0 then incr n1;
+          if pfd_pair > 0.0 then incr n2
+        done;
+        (!n1, !n2, Rng.draws rng_k))
+      ()
+  in
+  (* Join: fold shard tallies in shard order and feed the single-writer
+     instruments from the calling domain. *)
   let n1_pos = ref 0 and n2_pos = ref 0 in
-  for r = 0 to replications - 1 do
-    let pfd_a, _pfd_b, pfd_pair = Devteam.pair_pfd_from_universe rng universe in
-    theta1_samples.(r) <- pfd_a;
-    theta2_samples.(r) <- pfd_pair;
-    if pfd_a > 0.0 then incr n1_pos;
-    if pfd_pair > 0.0 then incr n2_pos;
-    Obs.Metrics.incr m_iterations;
-    Obs.Metrics.observe h_theta1 pfd_a;
-    Obs.Metrics.observe h_theta2 pfd_pair
-  done;
-  let p_n1_pos = float_of_int !n1_pos /. float_of_int replications in
-  let p_n2_pos = float_of_int !n2_pos /. float_of_int replications in
+  let shard_draws = Array.make shards 0 in
+  Array.iteri
+    (fun k (n1, n2, draws) ->
+      n1_pos := !n1_pos + n1;
+      n2_pos := !n2_pos + n2;
+      shard_draws.(k) <- draws)
+    per_shard;
+  let total_draws =
+    Rng.draws rng - draws0 + Array.fold_left ( + ) 0 shard_draws
+  in
+  Obs.Metrics.add m_iterations replications;
   Obs.Metrics.add m_n1_pos !n1_pos;
   Obs.Metrics.add m_n2_pos !n2_pos;
-  Obs.Metrics.add m_rng_draws (Rng.draws rng - draws0);
+  Obs.Metrics.add m_rng_draws total_draws;
+  if Obs.Metrics.is_enabled () then
+    for r = 0 to replications - 1 do
+      Obs.Metrics.observe h_theta1 theta1_samples.(r);
+      Obs.Metrics.observe h_theta2 theta2_samples.(r)
+    done;
+  let p_n1_pos = float_of_int !n1_pos /. float_of_int replications in
+  let p_n2_pos = float_of_int !n2_pos /. float_of_int replications in
   if Obs.Runlog.active () then
     Obs.Runlog.record ~kind:"montecarlo.estimate"
       [
         ("replications", Obs.Json.Int replications);
+        ("shards", Obs.Json.Int shards);
         ("p_n1_pos", Obs.Json.Float p_n1_pos);
         ("p_n2_pos", Obs.Json.Float p_n2_pos);
-        ("rng_draws", Obs.Json.Int (Rng.draws rng - draws0));
+        ("rng_draws", Obs.Json.Int total_draws);
       ];
   Obs.Trace.leave span;
   {
     replications;
+    shards;
     theta1 = Stats.summarize theta1_samples;
     theta2 = Stats.summarize theta2_samples;
     p_n1_pos;
@@ -62,6 +104,7 @@ let estimate rng universe ~replications =
     risk_ratio = (if p_n1_pos > 0.0 then p_n2_pos /. p_n1_pos else nan);
     theta1_samples;
     theta2_samples;
+    shard_draws;
   }
 
 let quantile_theta2 est alpha = Stats.quantile est.theta2_samples alpha
@@ -74,19 +117,40 @@ type population = {
   pair_summary : Stats.summary;
 }
 
-let version_population rng space ~count =
+let version_population ?pool ?shards rng space ~count =
   if count < 2 then
     invalid_arg "Montecarlo.version_population: need at least two versions";
+  let shards =
+    match shards with Some s -> s | None -> Exec.default_shards ()
+  in
   let span = Obs.Trace.enter "montecarlo.version_population" in
+  (* Development consumes the RNG and stays sequential; evaluating the
+     count*(count-1)/2 unordered pairs is pure, so it shards over a
+     flattened (i, j) index table into a preallocated result array. *)
   let versions = Devteam.develop_many rng space ~count in
   let version_pfds = Array.map Demandspace.Version.pfd versions in
-  let pairs = ref [] in
+  let n_pairs = count * (count - 1) / 2 in
+  let pair_i = Array.make n_pairs 0 and pair_j = Array.make n_pairs 0 in
+  let idx = ref 0 in
   for i = 0 to count - 1 do
     for j = i + 1 to count - 1 do
-      pairs := Demandspace.Version.pair_pfd versions.(i) versions.(j) :: !pairs
+      pair_i.(!idx) <- i;
+      pair_j.(!idx) <- j;
+      incr idx
     done
   done;
-  let pair_pfds = Array.of_list !pairs in
+  let pair_pfds = Array.make n_pairs 0.0 in
+  let bounds = Exec.shard_bounds ~range:n_pairs ~shards in
+  ignore
+    (Exec.map_shards ?pool ~shards
+       ~f:(fun k ->
+         let lo, len = bounds.(k) in
+         for r = lo to lo + len - 1 do
+           pair_pfds.(r) <-
+             Demandspace.Version.pair_pfd versions.(pair_i.(r))
+               versions.(pair_j.(r))
+         done)
+       ());
   let pop =
     {
       version_pfds;
@@ -116,20 +180,36 @@ let knight_leveson_shape pop =
   in
   (mean_ratio, std_ratio)
 
-let empirical_system_pfd rng space ~replications ~demands_per_system =
+let empirical_system_pfd ?pool ?shards rng space ~replications
+    ~demands_per_system =
   (* Full-stack estimate: develop a pair, build the Fig. 1 system, run it
-     on operational demands, and average the observed failure rates. *)
+     on operational demands, and average the observed failure rates. Each
+     shard runs its slice of the replications on its own substream into a
+     local Welford accumulator; accumulators merge in shard order. *)
+  let shards =
+    match shards with Some s -> s | None -> Exec.default_shards ()
+  in
   let span = Obs.Trace.enter "montecarlo.empirical_system_pfd" in
-  let acc = Welford.create () in
-  for _ = 1 to replications do
-    let va, vb = Devteam.develop_pair rng space in
-    let system =
-      Protection.one_out_of_two
-        (Channel.create ~name:"A" va)
-        (Channel.create ~name:"B" vb)
-    in
-    let stats = Runner.run rng ~system ~demand_count:demands_per_system in
-    Welford.add acc stats.Runner.estimated_pfd
-  done;
+  let child_rngs = Exec.split_rngs rng ~shards in
+  let bounds = Exec.shard_bounds ~range:replications ~shards in
+  let acc =
+    Exec.map_reduce ?pool ~shards
+      ~f:(fun k ->
+        let _, len = bounds.(k) in
+        let rng_k = child_rngs.(k) in
+        let acc = Welford.create () in
+        for _ = 1 to len do
+          let va, vb = Devteam.develop_pair rng_k space in
+          let system =
+            Protection.one_out_of_two
+              (Channel.create ~name:"A" va)
+              (Channel.create ~name:"B" vb)
+          in
+          let stats = Runner.run rng_k ~system ~demand_count:demands_per_system in
+          Welford.add acc stats.Runner.estimated_pfd
+        done;
+        acc)
+      ~merge:Welford.merge ()
+  in
   Obs.Trace.leave span;
   Welford.mean acc

@@ -8,6 +8,7 @@
 
 type estimate = {
   replications : int;
+  shards : int;  (** shard count the run was split into *)
   theta1 : Numerics.Stats.summary;  (** PFD of single versions *)
   theta2 : Numerics.Stats.summary;  (** PFD of independently developed pairs *)
   p_n1_pos : float;  (** empirical P(version has >= 1 fault with q > 0) *)
@@ -15,10 +16,20 @@ type estimate = {
   risk_ratio : float;  (** empirical eq. (10) ratio *)
   theta1_samples : float array;
   theta2_samples : float array;
+  shard_draws : int array;  (** RNG draws consumed by each shard's substream *)
 }
 
-val estimate : Numerics.Rng.t -> Core.Universe.t -> replications:int -> estimate
-(** Sample independent development pairs from the universe. *)
+val estimate :
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
+  Numerics.Rng.t ->
+  Core.Universe.t ->
+  replications:int ->
+  estimate
+(** Sample independent development pairs from the universe. The work is
+    split into [shards] (default {!Exec.default_shards}) deterministic
+    slices, each on its own [Rng.split] substream: the result is a pure
+    function of (seed, shards) and is byte-identical for any pool size. *)
 
 val quantile_theta1 : estimate -> float -> float
 val quantile_theta2 : estimate -> float -> float
@@ -31,20 +42,30 @@ type population = {
 }
 
 val version_population :
-  Numerics.Rng.t -> Demandspace.Space.t -> count:int -> population
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
+  Numerics.Rng.t ->
+  Demandspace.Space.t ->
+  count:int ->
+  population
 (** Develop [count] concrete versions over a demand space and evaluate every
     unordered pair as a 1-out-of-2 system (true set-intersection PFDs, no
-    non-overlap assumption). *)
+    non-overlap assumption). Development is sequential on [rng]; the pure
+    pairwise evaluation shards over a flattened pair-index table. *)
 
 val knight_leveson_shape : population -> float * float
 (** [(mean_ratio, std_ratio)] of pair vs version PFD; the paper's
     qualitative claim is both < 1 with the std shrinking more. *)
 
 val empirical_system_pfd :
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
   Numerics.Rng.t ->
   Demandspace.Space.t ->
   replications:int ->
   demands_per_system:int ->
   float
 (** Average observed failure rate over full develop-and-operate
-    replications of the Fig. 1 system. *)
+    replications of the Fig. 1 system. Sharded like {!estimate}: each
+    shard accumulates into a local Welford state, merged in shard
+    order. *)

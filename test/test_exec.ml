@@ -1,0 +1,297 @@
+(* The determinism contract of lib/exec: sharded map-reduce outputs are
+   a pure function of (seed, shards) and byte-identical for any domain
+   count. Every parallel entry point is run on a 1-domain (inline
+   sequential) pool and a 4-domain pool and compared bit-for-bit; shard
+   substream accounting and the pool mechanics get unit tests of their
+   own. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Bit-level float comparison: the contract is byte identity, not
+   tolerance. *)
+let bits = Array.map Int64.bits_of_float
+let check_bits name a b = Alcotest.(check (array int64)) name (bits a) (bits b)
+
+let check_float_bits name a b =
+  Alcotest.(check int64) name (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Pools shared by all tests. The container may expose a single core —
+   that slows the 4-domain pool down but cannot change any output, which
+   is exactly what these tests pin. *)
+let pool1 = lazy (Exec.Pool.create ~domains:1 ())
+let pool4 = lazy (Exec.Pool.create ~domains:4 ())
+
+let universe n =
+  let rng = Numerics.Rng.create ~seed:11 in
+  Core.Universe.uniform_random rng ~n ~p_lo:0.01 ~p_hi:0.4 ~total_q:0.5
+
+let space seed =
+  let rng = Numerics.Rng.create ~seed in
+  Demandspace.Genspace.disjoint_space rng ~width:32 ~height:32 ~n_faults:10
+    ~max_extent:4 ~p_lo:0.05 ~p_hi:0.4
+    ~profile:(Demandspace.Profile.uniform ~size:(32 * 32))
+
+let system seed =
+  let rng = Numerics.Rng.create ~seed in
+  let va, vb = Simulator.Devteam.develop_pair rng (space seed) in
+  Simulator.Protection.one_out_of_two
+    (Simulator.Channel.create ~name:"A" va)
+    (Simulator.Channel.create ~name:"B" vb)
+
+(* ---- shard_bounds ---- *)
+
+let test_shard_bounds () =
+  let check_cover ~range ~shards =
+    let b = Exec.shard_bounds ~range ~shards in
+    check_int "one entry per shard" shards (Array.length b);
+    let seen = Array.make range 0 in
+    Array.iter
+      (fun (lo, len) ->
+        check_bool "len >= 0" true (len >= 0);
+        for i = lo to lo + len - 1 do
+          seen.(i) <- seen.(i) + 1
+        done)
+      b;
+    Array.iteri
+      (fun i c -> check_int (Printf.sprintf "index %d covered once" i) 1 c)
+      seen;
+    let lens = Array.map snd b in
+    let mn = Array.fold_left min max_int lens
+    and mx = Array.fold_left max 0 lens in
+    check_bool "balanced to within one" true (mx - mn <= 1)
+  in
+  check_cover ~range:10 ~shards:4;
+  check_cover ~range:16 ~shards:16;
+  check_cover ~range:1 ~shards:3;
+  check_cover ~range:1000 ~shards:7;
+  (* more shards than work: trailing shards are empty, coverage holds *)
+  let b = Exec.shard_bounds ~range:2 ~shards:5 in
+  check_int "empty tail shards" 3
+    (Array.fold_left (fun acc (_, len) -> if len = 0 then acc + 1 else acc) 0 b)
+
+(* ---- split_rngs ---- *)
+
+let test_split_rngs () =
+  let parent = Numerics.Rng.create ~seed:99 in
+  let before = Numerics.Rng.draws parent in
+  let subs = Exec.split_rngs parent ~shards:8 in
+  check_int "parent advances one draw per split" 8
+    (Numerics.Rng.draws parent - before);
+  (* substreams are reproducible and pairwise distinct *)
+  let parent' = Numerics.Rng.create ~seed:99 in
+  let subs' = Exec.split_rngs parent' ~shards:8 in
+  let draw_some r = Array.init 16 (fun _ -> Numerics.Rng.float r) in
+  let a = Array.map draw_some subs and b = Array.map draw_some subs' in
+  Array.iteri
+    (fun k ak -> check_bits (Printf.sprintf "substream %d reproducible" k) ak b.(k))
+    a;
+  for i = 0 to 6 do
+    check_bool
+      (Printf.sprintf "substreams %d and %d differ" i (i + 1))
+      true
+      (bits a.(i) <> bits a.(i + 1))
+  done
+
+(* ---- Pool.run ---- *)
+
+let test_pool_run () =
+  let p4 = Lazy.force pool4 in
+  check_int "pool size" 4 (Exec.Pool.size p4);
+  let r = Exec.Pool.run p4 ~n:257 (fun i -> (i * i) - i) in
+  Alcotest.(check (array int))
+    "results in index order"
+    (Array.init 257 (fun i -> (i * i) - i))
+    r;
+  let r0 = Exec.Pool.run p4 ~n:0 (fun _ -> assert false) in
+  check_int "empty batch" 0 (Array.length r0)
+
+exception Boom of int
+
+let test_pool_exception () =
+  let p4 = Lazy.force pool4 in
+  let raised =
+    match Exec.Pool.run p4 ~n:64 (fun i -> if i = 37 then raise (Boom i) else i) with
+    | _ -> false
+    | exception Boom 37 -> true
+  in
+  check_bool "task exception propagates" true raised;
+  (* the pool survives a failed batch *)
+  let r = Exec.Pool.run p4 ~n:8 (fun i -> i + 1) in
+  Alcotest.(check (array int)) "pool reusable after failure"
+    (Array.init 8 (fun i -> i + 1)) r
+
+(* ---- Montecarlo.estimate: byte identity across domain counts ---- *)
+
+let estimate ~pool ~shards ~seed =
+  let rng = Numerics.Rng.create ~seed in
+  Simulator.Montecarlo.estimate ~pool ~shards rng (universe 200) ~replications:96
+
+let test_estimate_identical () =
+  let a = estimate ~pool:(Lazy.force pool1) ~shards:4 ~seed:7 in
+  let b = estimate ~pool:(Lazy.force pool4) ~shards:4 ~seed:7 in
+  check_bits "theta1 samples" a.Simulator.Montecarlo.theta1_samples
+    b.Simulator.Montecarlo.theta1_samples;
+  check_bits "theta2 samples" a.theta2_samples b.theta2_samples;
+  check_float_bits "theta1 mean" a.theta1.Numerics.Stats.mean
+    b.theta1.Numerics.Stats.mean;
+  check_float_bits "theta2 std" a.theta2.Numerics.Stats.std
+    b.theta2.Numerics.Stats.std;
+  check_float_bits "risk ratio" a.risk_ratio b.risk_ratio;
+  check_float_bits "p_n1_pos" a.p_n1_pos b.p_n1_pos;
+  Alcotest.(check (array int)) "per-shard draw counts" a.shard_draws b.shard_draws
+
+let test_estimate_shard_accounting () =
+  let a = estimate ~pool:(Lazy.force pool4) ~shards:6 ~seed:3 in
+  let b = estimate ~pool:(Lazy.force pool4) ~shards:6 ~seed:3 in
+  check_int "shards recorded" 6 a.Simulator.Montecarlo.shards;
+  check_int "one draw count per shard" 6 (Array.length a.shard_draws);
+  Alcotest.(check (array int)) "draw counts reproducible" a.shard_draws
+    b.shard_draws;
+  Array.iter (fun d -> check_bool "every shard drew" true (d > 0)) a.shard_draws
+
+let test_estimate_shards_matter () =
+  (* Changing the shard count changes the substreams — deterministically
+     different outputs, which is why shards defaults to a constant. *)
+  let a = estimate ~pool:(Lazy.force pool1) ~shards:4 ~seed:7 in
+  let b = estimate ~pool:(Lazy.force pool1) ~shards:8 ~seed:7 in
+  check_bool "different shard counts, different samples" true
+    (bits a.Simulator.Montecarlo.theta1_samples
+    <> bits b.Simulator.Montecarlo.theta1_samples)
+
+(* ---- Campaign ---- *)
+
+let mttf ~pool ~seed =
+  let rng = Numerics.Rng.create ~seed in
+  Simulator.Campaign.estimate_mttf ~pool ~shards:4 rng ~system:(system 21)
+    ~missions:64 ~max_demands:400
+
+let test_campaign_identical () =
+  let a = mttf ~pool:(Lazy.force pool1) ~seed:5 in
+  let b = mttf ~pool:(Lazy.force pool4) ~seed:5 in
+  check_int "missions" a.Simulator.Campaign.missions b.Simulator.Campaign.missions;
+  check_int "failures" a.failures b.failures;
+  check_int "censored" a.censored b.censored;
+  check_float_bits "mttf" a.mean_time_to_failure b.mean_time_to_failure;
+  check_float_bits "failure rate" a.failure_rate b.failure_rate
+
+let test_survival_identical () =
+  let run pool =
+    let rng = Numerics.Rng.create ~seed:13 in
+    Simulator.Campaign.simulate_mission_survival ~pool ~shards:4 rng
+      ~system:(system 21) ~mission_demands:300 ~missions:80
+  in
+  check_float_bits "survival probability" (run (Lazy.force pool1))
+    (run (Lazy.force pool4))
+
+(* ---- version population & empirical system PFD ---- *)
+
+let test_population_identical () =
+  let run pool =
+    let rng = Numerics.Rng.create ~seed:17 in
+    Simulator.Montecarlo.version_population ~pool ~shards:4 rng (space 17)
+      ~count:12
+  in
+  let a = run (Lazy.force pool1) and b = run (Lazy.force pool4) in
+  check_int "12 choose 2 pairs" 66
+    (Array.length a.Simulator.Montecarlo.pair_pfds);
+  check_bits "version pfds" a.version_pfds b.version_pfds;
+  check_bits "pair pfds" a.pair_pfds b.pair_pfds
+
+let test_empirical_pfd_identical () =
+  let run pool =
+    let rng = Numerics.Rng.create ~seed:23 in
+    Simulator.Montecarlo.empirical_system_pfd ~pool ~shards:4 rng (space 23)
+      ~replications:12 ~demands_per_system:200
+  in
+  check_float_bits "empirical system pfd" (run (Lazy.force pool1))
+    (run (Lazy.force pool4))
+
+(* ---- Sensitivity gradient ---- *)
+
+let test_gradient_identical () =
+  let ps = Array.init 60 (fun i -> 0.01 +. (0.005 *. float_of_int i)) in
+  let seq = Core.Sensitivity.risk_ratio_gradient ~pool:(Lazy.force pool1) ~shards:1 ps in
+  let par = Core.Sensitivity.risk_ratio_gradient ~pool:(Lazy.force pool4) ~shards:5 ps in
+  check_bits "gradient" seq par
+
+(* ---- Pfd_dist ---- *)
+
+let test_grid_identical () =
+  (* Large enough that the sharded dense-update path actually engages
+     (>= 32768 active bins); both paths must be bit-identical. *)
+  let u = universe 60 in
+  let seq = Core.Pfd_dist.grid_single ~shards:1 u ~bins:40_000 in
+  let par =
+    Core.Pfd_dist.grid_single ~pool:(Lazy.force pool4) ~shards:4 u ~bins:40_000
+  in
+  check_bits "grid support" (Core.Pfd_dist.support seq) (Core.Pfd_dist.support par);
+  check_bits "grid masses" (Core.Pfd_dist.masses seq) (Core.Pfd_dist.masses par)
+
+let test_exact_sharded_close () =
+  (* The sharded exact tree reassociates mass sums, so equality is up to
+     ulp-level rounding, not byte identity — but it must not depend on
+     the pool size. *)
+  let u = universe 14 in
+  let seq = Core.Pfd_dist.exact_single ~shards:1 u in
+  let p1 = Core.Pfd_dist.exact_single ~pool:(Lazy.force pool1) ~shards:4 u in
+  let p4 = Core.Pfd_dist.exact_single ~pool:(Lazy.force pool4) ~shards:4 u in
+  check_bits "sharded exact: domain count irrelevant"
+    (Core.Pfd_dist.masses p1) (Core.Pfd_dist.masses p4);
+  check_int "same support size" (Core.Pfd_dist.size seq) (Core.Pfd_dist.size p1);
+  let close what a b =
+    check_bool what true (Float.abs (a -. b) <= 1e-12 *. (1.0 +. Float.abs a))
+  in
+  close "mean" (Core.Pfd_dist.mean seq) (Core.Pfd_dist.mean p1);
+  close "variance" (Core.Pfd_dist.variance seq) (Core.Pfd_dist.variance p1);
+  close "P(theta > 0)" (Core.Pfd_dist.prob_positive seq)
+    (Core.Pfd_dist.prob_positive p1)
+
+(* ---- trace spans from parallel regions ---- *)
+
+let test_trace_shards () =
+  Obs.Trace.set_enabled true;
+  let _ = estimate ~pool:(Lazy.force pool4) ~shards:4 ~seed:31 in
+  let rendered = Obs.Trace.render_chrome_json () in
+  Obs.Trace.set_enabled false;
+  (match Obs.Json.parse rendered with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("chrome trace is not valid JSON: " ^ e));
+  check_bool "spans carry a shard lane (tid)" true
+    (let needle = "\"tid\"" in
+     let nl = String.length needle and hl = String.length rendered in
+     let rec go i =
+       i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1))
+     in
+     go 0)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "shard_bounds" `Quick test_shard_bounds;
+          Alcotest.test_case "split_rngs" `Quick test_split_rngs;
+          Alcotest.test_case "pool run" `Quick test_pool_run;
+          Alcotest.test_case "pool exceptions" `Quick test_pool_exception;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "montecarlo estimate" `Quick test_estimate_identical;
+          Alcotest.test_case "shard draw accounting" `Quick
+            test_estimate_shard_accounting;
+          Alcotest.test_case "shards change outputs" `Quick
+            test_estimate_shards_matter;
+          Alcotest.test_case "campaign mttf" `Quick test_campaign_identical;
+          Alcotest.test_case "mission survival" `Quick test_survival_identical;
+          Alcotest.test_case "version population" `Quick test_population_identical;
+          Alcotest.test_case "empirical system pfd" `Quick
+            test_empirical_pfd_identical;
+          Alcotest.test_case "sensitivity gradient" `Quick test_gradient_identical;
+          Alcotest.test_case "grid pfd dist" `Quick test_grid_identical;
+          Alcotest.test_case "sharded exact pfd dist" `Quick
+            test_exact_sharded_close;
+        ] );
+      ( "telemetry",
+        [ Alcotest.test_case "trace shard lanes" `Quick test_trace_shards ] );
+    ]

@@ -101,6 +101,23 @@ let test_wallclock () =
   in
   check_int "lib/obs is exempt" 0 (count E.Wallclock exempt)
 
+(* ---- R8 ---- *)
+
+let test_domain () =
+  let fs = E.lint_file (fixture "bad_domain.ml") in
+  check_lines "R8 lines" [ 3; 4; 5 ] (lines_of E.Domain_containment fs);
+  check_int "Domain.self not flagged" 3 (List.length fs);
+  (* R8 applies everywhere outside lib/exec/, including lib/ and tests... *)
+  let in_lib =
+    E.lint_file ~relpath:"lib/simulator/bad_domain.ml" (fixture "bad_domain.ml")
+  in
+  check_int "flagged in lib too" 3 (count E.Domain_containment in_lib);
+  (* ...except lib/exec/, the sanctioned home of parallelism. *)
+  let exempt =
+    E.lint_file ~relpath:"lib/exec/pool.ml" (fixture "bad_domain.ml")
+  in
+  check_int "lib/exec is exempt" 0 (count E.Domain_containment exempt)
+
 (* ---- clean corpus ---- *)
 
 let test_clean () =
@@ -172,6 +189,7 @@ let () =
           Alcotest.test_case "R5 print" `Quick test_print;
           Alcotest.test_case "R6 partial" `Quick test_partial;
           Alcotest.test_case "R7 wallclock" `Quick test_wallclock;
+          Alcotest.test_case "R8 domain-containment" `Quick test_domain;
           Alcotest.test_case "clean corpus" `Quick test_clean;
         ] );
       ( "suppressions",

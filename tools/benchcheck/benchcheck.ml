@@ -2,11 +2,12 @@
 
    The @ci alias runs `bench/main.exe json --smoke` and then this tool,
    so a malformed or structurally wrong benchmark artefact fails the
-   gate. Checks: the file parses as JSON, carries the divrel-bench/1
+   gate. Checks: the file parses as JSON, carries the divrel-bench/2
    schema marker, a seed, a git_rev, and a non-empty kernels array whose
-   entries each have a name, numeric-or-null ns_per_run / r_square, and a
-   sample count. Exit codes: 0 ok, 1 structurally invalid, 2 unreadable
-   or unparseable. *)
+   entries each have a name, numeric-or-null ns_per_run / r_square, a
+   sample count and a positive domain count; the parallel-estimate
+   kernel pair must be present. Exit codes: 0 ok, 1 structurally
+   invalid, 2 unreadable or unparseable. *)
 
 let fail code msg =
   prerr_endline ("benchcheck: " ^ msg);
@@ -40,7 +41,17 @@ let check_kernel i k =
     require (ctx ^ ".samples")
       (Option.bind (Obs.Json.member "samples" k) Obs.Json.to_int)
   in
-  if samples < 0 then fail 1 (ctx ^ ".samples is negative")
+  if samples < 0 then fail 1 (ctx ^ ".samples is negative");
+  let domains =
+    require (ctx ^ ".domains")
+      (Option.bind (Obs.Json.member "domains" k) Obs.Json.to_int)
+  in
+  if domains < 1 then fail 1 (ctx ^ ".domains must be >= 1");
+  name
+
+(* Kernels whose presence the gate insists on: the determinism
+   demonstrator pair (same computation on 1 vs 4 domains). *)
+let required_kernels = [ "mc-estimate-parallel/1dom"; "mc-estimate-parallel/4dom" ]
 
 let () =
   let path =
@@ -60,8 +71,8 @@ let () =
   let schema =
     require "schema" (Option.bind (Obs.Json.member "schema" json) Obs.Json.to_string)
   in
-  if schema <> "divrel-bench/1" then
-    fail 1 (Printf.sprintf "unexpected schema %S (want divrel-bench/1)" schema);
+  if schema <> "divrel-bench/2" then
+    fail 1 (Printf.sprintf "unexpected schema %S (want divrel-bench/2)" schema);
   ignore (require "seed" (Option.bind (Obs.Json.member "seed" json) Obs.Json.to_int));
   ignore
     (require "git_rev"
@@ -70,6 +81,10 @@ let () =
     require "kernels" (Option.bind (Obs.Json.member "kernels" json) Obs.Json.to_list)
   in
   if kernels = [] then fail 1 "kernels array is empty";
-  List.iteri check_kernel kernels;
-  Printf.printf "benchcheck: %s ok (%d kernels, schema divrel-bench/1)\n" path
+  let names = List.mapi check_kernel kernels in
+  List.iter
+    (fun k ->
+      if not (List.mem k names) then fail 1 ("required kernel missing: " ^ k))
+    required_kernels;
+  Printf.printf "benchcheck: %s ok (%d kernels, schema divrel-bench/2)\n" path
     (List.length kernels)

@@ -14,6 +14,7 @@ type rule =
   | Print_effect (* R5: printing side effect in lib/ outside lib/report/ *)
   | Partial_fun (* R6: partial function (List.hd / List.nth / Option.get) *)
   | Wallclock (* R7: non-monotonic time source outside lib/obs/ *)
+  | Domain_containment (* R8: Domain/Atomic primitive outside lib/exec/ *)
 
 let all_rules =
   [
@@ -24,6 +25,7 @@ let all_rules =
     Print_effect;
     Partial_fun;
     Wallclock;
+    Domain_containment;
   ]
 
 let rule_id = function
@@ -34,6 +36,7 @@ let rule_id = function
   | Print_effect -> "R5"
   | Partial_fun -> "R6"
   | Wallclock -> "R7"
+  | Domain_containment -> "R8"
 
 let rule_slug = function
   | Float_eq -> "float-eq"
@@ -43,6 +46,7 @@ let rule_slug = function
   | Print_effect -> "print"
   | Partial_fun -> "partial"
   | Wallclock -> "wallclock"
+  | Domain_containment -> "domain-containment"
 
 let rule_of_token tok =
   let tok = String.lowercase_ascii (String.trim tok) in
@@ -131,6 +135,7 @@ type ctx = {
   in_lib : bool;
   in_report : bool;
   in_obs : bool;
+  in_exec : bool;
   is_rng : bool;
 }
 
@@ -140,6 +145,7 @@ let make_ctx relpath =
     in_lib = has_prefix ~prefix:"lib/" relpath;
     in_report = has_prefix ~prefix:"lib/report/" relpath;
     in_obs = has_prefix ~prefix:"lib/obs/" relpath;
+    in_exec = has_prefix ~prefix:"lib/exec/" relpath;
     is_rng = relpath = "lib/numerics/rng.ml";
   }
 
@@ -214,6 +220,14 @@ let partial_paths = [ "List.hd"; "List.tl"; "List.nth"; "Option.get" ]
 
 let wallclock_paths = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
 
+(* R8: the spawn/join primitives, plus anything in Atomic. Atomic is
+   matched by module prefix so new operations (exchange, compare_and_set,
+   ...) are caught without listing them. *)
+let domain_paths = [ "Domain.spawn"; "Domain.join" ]
+
+let is_domain_primitive path =
+  List.mem path domain_paths || has_prefix ~prefix:"Atomic." path
+
 (* ------------------------------------------------------------------ *)
 (* The walk                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -254,6 +268,12 @@ let message rule detail =
         "%s: non-monotonic time source outside lib/obs/; route all timing \
          through the monotonic Obs.Clock"
         detail
+  | Domain_containment ->
+      Printf.sprintf
+        "%s: domain primitive outside lib/exec/; run parallel work through \
+         Exec.Pool / Exec.map_reduce so results stay deterministic, or \
+         annotate with (* divlint: allow domain-containment *)"
+        detail
 
 let findings_of_structure ctx structure =
   let acc = ref [] in
@@ -286,7 +306,9 @@ let findings_of_structure ctx structure =
     if ctx.in_lib && List.mem path partial_paths then
       add loc Partial_fun path;
     if (not ctx.in_obs) && List.mem path wallclock_paths then
-      add loc Wallclock path
+      add loc Wallclock path;
+    if (not ctx.in_exec) && is_domain_primitive path then
+      add loc Domain_containment path
   in
   let check_apply (e : Parsetree.expression) fn args =
     match fn.Parsetree.pexp_desc with

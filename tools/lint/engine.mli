@@ -16,11 +16,15 @@ type rule =
   | Wallclock
       (** R7: non-monotonic time source ([Unix.gettimeofday] / [Unix.time] /
           [Sys.time]) outside [lib/obs/] *)
+  | Domain_containment
+      (** R8: parallelism primitive ([Domain.spawn] / [Domain.join] / any
+          [Atomic.*]) outside [lib/exec/] — ad-hoc threading bypasses the
+          deterministic sharding contract *)
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] .. ["R7"]. *)
+(** ["R1"] .. ["R8"]. *)
 
 val rule_slug : rule -> string
 (** Stable lowercase name used in suppression comments, e.g. ["float-eq"]. *)

@@ -1,0 +1,9 @@
+(* Known-bad R8 corpus: domain primitives outside lib/exec/. *)
+
+let worker f = Domain.spawn f
+let wait d = Domain.join d
+let bump counter = Atomic.incr counter
+
+(* Other Domain operations (e.g. the identifier of the current domain)
+   are not parallelism primitives and must not be flagged. *)
+let me () = Domain.self ()
