@@ -20,12 +20,16 @@ bench-json:
 # on a 1-domain (inline sequential) and a 2-domain default pool: the
 # determinism contract says the outputs cannot differ, and running both
 # ways keeps that claim continuously tested. (--force, because dune
-# would otherwise replay the cached first run.)
+# would otherwise replay the cached first run.) The property suite
+# (test/test_prop.exe) draws its cases from a fixed seed by default;
+# `make check PROP_SEED=1234` replays/explores a different case stream
+# (empty means the built-in seed).
+PROP_SEED ?=
 check:
 	dune build @lint
 	dune build
-	DIVREL_DOMAINS=1 dune runtest --force
-	DIVREL_DOMAINS=2 dune runtest --force
+	DIVREL_DOMAINS=1 PROP_SEED=$(PROP_SEED) dune runtest --force
+	DIVREL_DOMAINS=2 PROP_SEED=$(PROP_SEED) dune runtest --force
 	dune build @bench-smoke
 
 clean:

@@ -61,6 +61,11 @@ let tests () =
      which would starve the sequential kernels of samples. *)
   let pool1 = lazy (Exec.Pool.create ~domains:1 ()) in
   let pool4 = lazy (Exec.Pool.create ~domains:4 ()) in
+  let fleet_systems =
+    lazy
+      (let r = Numerics.Rng.create ~seed:(seed + 5) in
+       Simulator.Fleet.deploy_pairs ~shards:1 r space ~plants:24)
+  in
   [
     Test.make ~name:"moments/n=1000"
       (Staged.stage (fun () -> ignore (Core.Moments.compute u_big)));
@@ -109,6 +114,25 @@ let tests () =
             ignore
               (Simulator.Montecarlo.estimate ~pool:(Lazy.force pool4) ~shards:8
                  r u_big ~replications:64)));
+    (* Fleet observation sharded over the pool: the other determinism
+       demonstrator pair. The systems are deployed once at setup (on the
+       legacy sequential path so no pool is forced early); each run
+       observes the whole fleet with 8 shards, exercising the batched
+       demand sampling in the runner hot loop. *)
+    Test.make ~name:"fleet-observe-parallel/1dom"
+      (Staged.stage
+         (let r = Numerics.Rng.create ~seed:(seed + 6) in
+          fun () ->
+            ignore
+              (Simulator.Fleet.observe ~pool:(Lazy.force pool1) ~shards:8 r
+                 (Lazy.force fleet_systems) ~demands_per_plant:2000)));
+    Test.make ~name:"fleet-observe-parallel/4dom"
+      (Staged.stage
+         (let r = Numerics.Rng.create ~seed:(seed + 6) in
+          fun () ->
+            ignore
+              (Simulator.Fleet.observe ~pool:(Lazy.force pool4) ~shards:8 r
+                 (Lazy.force fleet_systems) ~demands_per_plant:2000)));
   ]
 
 type kernel_row = {
@@ -125,8 +149,8 @@ type kernel_row = {
    the process default pool (sized by --domains / DIVREL_DOMAINS). *)
 let kernel_domains name =
   match name with
-  | "mc-estimate-parallel/1dom" -> 1
-  | "mc-estimate-parallel/4dom" -> 4
+  | "mc-estimate-parallel/1dom" | "fleet-observe-parallel/1dom" -> 1
+  | "mc-estimate-parallel/4dom" | "fleet-observe-parallel/4dom" -> 4
   | "sensitivity-gradient/n=1000" -> Exec.Pool.size (Exec.Pool.default ())
   | _ -> 1
 
@@ -139,6 +163,8 @@ let generous_quota_kernels =
     "moments/n=1000";
     "mc-estimate-parallel/1dom";
     "mc-estimate-parallel/4dom";
+    "fleet-observe-parallel/1dom";
+    "fleet-observe-parallel/4dom";
   ]
 
 let cfg_for ~smoke name =

@@ -82,7 +82,13 @@ let with_telemetry ~label ~seed ~trace ~metrics ~log f =
     Obs.Runlog.set_sink runlog;
     if Obs.Runlog.active () then
       Obs.Runlog.record ~kind:"run.start"
-        [ ("target", Obs.Json.String label); ("seed", Obs.Json.Int seed) ];
+        [
+          ("target", Obs.Json.String label);
+          ("seed", Obs.Json.Int seed);
+          (* outputs are a pure function of (seed, shards): recording the
+             effective default shard count makes a logged run replayable *)
+          ("shards", Obs.Json.Int (Exec.default_shards ()));
+        ];
     let draws0 = Numerics.Rng.total_draws () in
     let span = Obs.Trace.enter label in
     let result, dur_ns = Obs.Clock.timed f in
@@ -94,6 +100,7 @@ let with_telemetry ~label ~seed ~trace ~metrics ~log f =
         [
           ("target", Obs.Json.String label);
           ("seed", Obs.Json.Int seed);
+          ("shards", Obs.Json.Int (Exec.default_shards ()));
           ("rng_draws", Obs.Json.Int draws);
           ("duration_ns", Obs.Json.Int (Int64.to_int dur_ns));
         ];

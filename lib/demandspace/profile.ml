@@ -31,6 +31,8 @@ let probability t demand = Alias.probability t.alias (Demand.to_int demand)
 
 let sample t rng = Demand.of_int (Alias.sample t.alias rng)
 
+let sample_many t rng buf ~n = Alias.sample_many t.alias rng buf ~n
+
 let measure t bitset =
   if Bitset.length bitset <> size t then
     invalid_arg "Profile.measure: bitset over a different space";

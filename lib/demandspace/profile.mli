@@ -31,6 +31,12 @@ val probability : t -> Demand.t -> float
 
 val sample : t -> Numerics.Rng.t -> Demand.t
 
+val sample_many : t -> Numerics.Rng.t -> int array -> n:int -> unit
+(** Fill [buf.(0 .. n-1)] with the integer ids ({!Demand.to_int}) of [n]
+    profile draws. Byte-compatible with [n] successive {!sample} calls
+    (identical RNG draw sequence and outcomes); the batched form exists
+    for simulation hot loops that sample demands in blocks. *)
+
 val measure : t -> Numerics.Bitset.t -> float
 (** Probability that a random demand lands in the given set — the q of a
     failure region (compensated sum). *)

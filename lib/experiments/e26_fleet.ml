@@ -18,8 +18,12 @@ let run ~seed =
     let r = Numerics.Rng.split rng ~index in
     Simulator.Fleet.observe r (deploy r space ~plants) ~demands_per_plant
   in
-  let singles = observe_fleet Simulator.Fleet.deploy_singles 1 in
-  let pairs = observe_fleet Simulator.Fleet.deploy_pairs 2 in
+  let singles =
+    observe_fleet (fun r s ~plants -> Simulator.Fleet.deploy_singles r s ~plants) 1
+  in
+  let pairs =
+    observe_fleet (fun r s ~plants -> Simulator.Fleet.deploy_pairs r s ~plants) 2
+  in
   let row label fleet (model_mu, model_sigma) =
     let _mu_hat, var_hat = Simulator.Fleet.estimate_pfd_moments fleet in
     let d = Simulator.Fleet.dispersion fleet in

@@ -41,6 +41,22 @@ let sample t rng =
   let bucket = Rng.int rng n in
   if Rng.float rng < t.prob.(bucket) then bucket else t.alias.(bucket)
 
+(* Batched draws for hot loops: fills [buf.(0 .. n-1)] with exactly the
+   outcomes [n] successive [sample] calls would produce — same RNG draw
+   sequence, bucket then acceptance, one outcome at a time — but with
+   the table fields hoisted out of the loop and no per-call overhead. *)
+let sample_many t rng buf ~n =
+  if n < 0 || n > Array.length buf then
+    invalid_arg "Alias.sample_many: n out of range";
+  let prob = t.prob and alias = t.alias in
+  let buckets = Array.length prob in
+  for i = 0 to n - 1 do
+    let bucket = Rng.int rng buckets in
+    buf.(i) <-
+      (if Rng.float rng < Array.unsafe_get prob bucket then bucket
+       else Array.unsafe_get alias bucket)
+  done
+
 let probability t i =
   if i < 0 || i >= Array.length t.weights then
     invalid_arg "Alias.probability: index out of range";

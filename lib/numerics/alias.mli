@@ -19,6 +19,12 @@ val size : t -> int
 val sample : t -> Rng.t -> int
 (** Draw an outcome index with probability proportional to its weight. *)
 
+val sample_many : t -> Rng.t -> int array -> n:int -> unit
+(** [sample_many t rng buf ~n] fills [buf.(0 .. n-1)] with [n] draws.
+    Byte-compatible with [n] successive {!sample} calls: the RNG draw
+    sequence and the outcomes are identical; only the per-call overhead
+    differs. Raises [Invalid_argument] unless [0 <= n <= length buf]. *)
+
 val probability : t -> int -> float
 (** Normalised probability of outcome [i]. *)
 

@@ -7,13 +7,23 @@
 type t = { st : Bytes.t; mutable draws : int }
 
 (* Process-wide draw total across every generator, for run telemetry.
-   Kept unconditional: one uncontended fetch-and-add is noise next to the
-   Int64 boxing a draw already pays, and gating it would cost a branch.
-   Atomic so that generators driven concurrently on pool domains (one
-   split child per shard, the lib/exec convention) never lose counts;
-   heavily contended workloads pay cache-line traffic here — batched
-   per-domain accounting is a known follow-on (see ROADMAP). *)
+   The hot loop never touches this atomic: each domain accumulates its
+   draws in a domain-local pending counter (one plain int store per
+   draw, no shared cache line), and the pending count is merged with a
+   single fetch-and-add per flush — [Exec.Pool] flushes every worker at
+   task join, and [total_draws] flushes the calling domain, so the
+   total is exact at every parallel join point and on every sequential
+   read. *)
 let total = Atomic.make 0 (* divlint: allow domain-containment *)
+
+let pending : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let flush_draws () =
+  let p = Domain.DLS.get pending in
+  if !p <> 0 then begin
+    ignore (Atomic.fetch_and_add total !p) (* divlint: allow domain-containment *);
+    p := 0
+  end
 
 (* splitmix64: used to expand a seed into the xoshiro state, and to derive
    independent substreams. *)
@@ -46,7 +56,7 @@ let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (
 (* xoshiro256++ *)
 let next_int64 t =
   t.draws <- t.draws + 1;
-  Atomic.incr total; (* divlint: allow domain-containment *)
+  incr (Domain.DLS.get pending);
   let st = t.st in
   let open Int64 in
   let s0 = Bytes.get_int64_ne st 0
@@ -79,7 +89,10 @@ let split t ~index =
   of_lanes s0 s1 s2 s3
 
 let draws t = t.draws
-let total_draws () = Atomic.get total (* divlint: allow domain-containment *)
+
+let total_draws () =
+  flush_draws ();
+  Atomic.get total (* divlint: allow domain-containment *)
 
 let float t =
   (* 53 high bits -> uniform in [0, 1). *)

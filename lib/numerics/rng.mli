@@ -31,7 +31,18 @@ val draws : t -> int
 val total_draws : unit -> int
 (** Process-wide draw total across every generator ever created, for run
     telemetry (e.g. draws consumed by one experiment = difference around
-    the call). *)
+    the call). Draws are accumulated in a per-domain pending counter and
+    merged into the shared total at flush points — this call flushes the
+    calling domain, and [Exec.Pool] flushes every worker domain when a
+    task joins — so the value is exact after any parallel region and on
+    any purely sequential read, without an atomic operation per draw. *)
+
+val flush_draws : unit -> unit
+(** Merge the calling domain's pending draw count into the process-wide
+    total. {!total_draws} calls this for the current domain; worker pools
+    must call it on each worker at task completion so totals observed
+    after a join are exact (lib/exec does). Idempotent and cheap when
+    nothing is pending. *)
 
 val float : t -> float
 (** Uniform draw in [0, 1) with 53 bits of precision. *)

@@ -44,6 +44,24 @@ let record ~kind fields =
         :: t.events_rev;
       Mutex.unlock t.lock
 
+let record_all ~kind batch =
+  match !global with
+  | None -> ()
+  | Some t ->
+      Mutex.lock t.lock;
+      List.iter
+        (fun fields ->
+          t.count <- t.count + 1;
+          t.events_rev <-
+            Json.Obj
+              (("event", Json.String kind)
+              :: ("seq", Json.Int t.count)
+              :: ("t_ns", Json.Int (Int64.to_int (Clock.now_ns ())))
+              :: fields)
+            :: t.events_rev)
+        batch;
+      Mutex.unlock t.lock
+
 let size t = t.count
 let events t = List.rev t.events_rev
 

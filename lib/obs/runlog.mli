@@ -30,6 +30,13 @@ val record : kind:string -> (string * Json.t) list -> unit
 (** Append an event to the installed sink; no-op without one. The given
     fields follow the standard [event]/[seq]/[t_ns] fields. *)
 
+val record_all : kind:string -> (string * Json.t) list list -> unit
+(** Append one event of the same [kind] per field list, in list order,
+    under a single lock acquisition — for join-time replay loops (e.g. a
+    fleet recording one event per plant) that would otherwise take the
+    log mutex once per event. Each event still gets its own [seq] and
+    [t_ns]. No-op without a sink. *)
+
 val size : t -> int
 
 val events : t -> Json.t list

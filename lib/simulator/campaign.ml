@@ -36,6 +36,10 @@ type mttf_estimate = {
   mean_time_to_failure : float;
       (** over failed missions only; NaN if none failed *)
   failure_rate : float;  (** total failures / total demands observed *)
+  shards : int;
+  shard_draws : int array;
+      (** RNG draws consumed by each shard's substream — per-domain draw
+          accounting, collected on the worker and merged at join *)
 }
 
 let estimate_mttf ?pool ?shards rng ~system ~missions ~max_demands =
@@ -53,17 +57,19 @@ let estimate_mttf ?pool ?shards rng ~system ~missions ~max_demands =
   let outcomes = Array.make missions Survived in
   let child_rngs = Exec.split_rngs rng ~shards in
   let bounds = Exec.shard_bounds ~range:missions ~shards in
-  ignore
-    (Exec.map_shards ?pool ~shards
-       ~f:(fun k ->
-         let lo, len = bounds.(k) in
-         let rng_k = child_rngs.(k) in
-         for m = lo to lo + len - 1 do
-           let mission_span = Obs.Trace.enter "campaign.mission" in
-           outcomes.(m) <- time_to_first_failure rng_k ~system ~max_demands;
-           Obs.Trace.leave mission_span
-         done)
-       ());
+  let shard_draws =
+    Exec.map_shards ?pool ~shards
+      ~f:(fun k ->
+        let lo, len = bounds.(k) in
+        let rng_k = child_rngs.(k) in
+        for m = lo to lo + len - 1 do
+          let mission_span = Obs.Trace.enter "campaign.mission" in
+          outcomes.(m) <- time_to_first_failure rng_k ~system ~max_demands;
+          Obs.Trace.leave mission_span
+        done;
+        Rng.draws rng_k)
+      ()
+  in
   (* Join: replay the outcomes in mission order, so tallies, metrics, the
      running gauge and the run log are identical to a sequential pass
      over the same outcome sequence regardless of the pool size. *)
@@ -113,6 +119,8 @@ let estimate_mttf ?pool ?shards rng ~system ~missions ~max_demands =
       (if !failures = 0 then nan
        else float_of_int !failure_time /. float_of_int !failures);
     failure_rate = float_of_int !failures /. float_of_int !total_time;
+    shards;
+    shard_draws;
   }
 
 let theoretical_mttf ~pfd =

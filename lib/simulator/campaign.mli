@@ -20,6 +20,11 @@ type mttf_estimate = {
   censored : int;  (** missions that survived to [max_demands] *)
   mean_time_to_failure : float;
   failure_rate : float;
+  shards : int;  (** shard count the estimate was computed with *)
+  shard_draws : int array;
+      (** RNG draws consumed by each shard's substream (one entry per
+          shard, in shard order) — exact per-domain draw accounting,
+          independent of the pool size *)
 }
 
 val estimate_mttf :

@@ -18,53 +18,101 @@ type plant_record = {
 
 type t = { records : plant_record array }
 
-let deploy_pairs rng space ~plants =
-  if plants <= 0 then invalid_arg "Fleet.deploy_pairs: plants must be positive";
-  Array.init plants (fun _ ->
+(* Sharding convention (see Exec): [shards = 1] is the legacy sequential
+   path — the parent RNG is threaded through the plants in plant order,
+   byte-identical to the pre-sharding implementation. [shards >= 2]
+   splits one substream per shard; shard k handles a contiguous slice of
+   the plants (Exec.shard_bounds) in plant order on its own substream,
+   and slices concatenate back in plant order, so the result is a pure
+   function of (seed, shards) and byte-identical for any domain count. *)
+
+let resolve_shards ~what = function
+  | Some s ->
+      if s < 1 then invalid_arg ("Fleet." ^ what ^ ": shards must be >= 1");
+      s
+  | None -> Exec.default_shards ()
+
+let deploy ?pool ?shards ~what rng ~plants make =
+  if plants <= 0 then
+    invalid_arg ("Fleet." ^ what ^ ": plants must be positive");
+  let shards = resolve_shards ~what shards in
+  if shards = 1 then Array.init plants (fun _ -> make rng)
+  else
+    let child_rngs = Exec.split_rngs rng ~shards in
+    let bounds = Exec.shard_bounds ~range:plants ~shards in
+    let parts =
+      Exec.map_shards ?pool ~shards
+        ~f:(fun k ->
+          let _, len = bounds.(k) in
+          let rng_k = child_rngs.(k) in
+          Array.init len (fun _ -> make rng_k))
+        ()
+    in
+    Array.concat (Array.to_list parts)
+
+let deploy_pairs ?pool ?shards rng space ~plants =
+  deploy ?pool ?shards ~what:"deploy_pairs" rng ~plants (fun rng ->
       let va, vb = Devteam.develop_pair rng space in
       Protection.one_out_of_two
         (Channel.create ~name:"A" va)
         (Channel.create ~name:"B" vb))
 
-let deploy_singles rng space ~plants =
-  if plants <= 0 then invalid_arg "Fleet.deploy_singles: plants must be positive";
-  Array.init plants (fun _ ->
-      Protection.create [ Channel.create ~name:"single" (Devteam.develop rng space) ])
+let deploy_singles ?pool ?shards rng space ~plants =
+  deploy ?pool ?shards ~what:"deploy_singles" rng ~plants (fun rng ->
+      Protection.create
+        [ Channel.create ~name:"single" (Devteam.develop rng space) ])
 
-let observe rng systems ~demands_per_plant =
+let observe ?pool ?shards rng systems ~demands_per_plant =
   if demands_per_plant <= 0 then
     invalid_arg "Fleet.observe: demands_per_plant must be positive";
+  let shards = resolve_shards ~what:"observe" shards in
   let span = Obs.Trace.enter "fleet.observe" in
-  let fleet =
+  let run_plant rng system =
+    let stats = Runner.run rng ~system ~demand_count:demands_per_plant in
     {
-      records =
-        Array.mapi
-          (fun plant system ->
-            let stats = Runner.run rng ~system ~demand_count:demands_per_plant in
-            let record =
-              {
-                system_pfd = Protection.true_pfd system;
-                demands = demands_per_plant;
-                failures = stats.Runner.system_failures;
-              }
-            in
-            Obs.Metrics.incr m_plants;
-            Obs.Metrics.observe h_plant_pfd record.system_pfd;
-            Obs.Metrics.observe h_plant_failures (float_of_int record.failures);
-            if Obs.Runlog.active () then
-              Obs.Runlog.record ~kind:"fleet.plant"
-                [
-                  ("plant", Obs.Json.Int plant);
-                  ("demands", Obs.Json.Int record.demands);
-                  ("failures", Obs.Json.Int record.failures);
-                  ("true_pfd", Obs.Json.Float record.system_pfd);
-                ];
-            record)
-          systems;
+      system_pfd = Protection.true_pfd system;
+      demands = demands_per_plant;
+      failures = stats.Runner.system_failures;
     }
   in
+  let records =
+    if shards = 1 then Array.map (fun system -> run_plant rng system) systems
+    else
+      let plants = Array.length systems in
+      let child_rngs = Exec.split_rngs rng ~shards in
+      let bounds = Exec.shard_bounds ~range:plants ~shards in
+      let parts =
+        Exec.map_shards ?pool ~shards
+          ~f:(fun k ->
+            let lo, len = bounds.(k) in
+            let rng_k = child_rngs.(k) in
+            Array.init len (fun i -> run_plant rng_k systems.(lo + i)))
+          ()
+      in
+      Array.concat (Array.to_list parts)
+  in
+  (* Join: replay the per-plant records into the instruments in plant
+     order, so metrics and the run log are independent of the domain
+     count (single-writer, calling domain only). *)
+  Array.iter
+    (fun record ->
+      Obs.Metrics.incr m_plants;
+      Obs.Metrics.observe h_plant_pfd record.system_pfd;
+      Obs.Metrics.observe h_plant_failures (float_of_int record.failures))
+    records;
+  if Obs.Runlog.active () then
+    Obs.Runlog.record_all ~kind:"fleet.plant"
+      (List.mapi
+         (fun plant record ->
+           [
+             ("plant", Obs.Json.Int plant);
+             ("demands", Obs.Json.Int record.demands);
+             ("failures", Obs.Json.Int record.failures);
+             ("true_pfd", Obs.Json.Float record.system_pfd);
+           ])
+         (Array.to_list records));
   Obs.Trace.leave span;
-  fleet
+  { records }
 
 let size t = Array.length t.records
 let records t = Array.copy t.records

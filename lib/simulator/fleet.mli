@@ -20,15 +20,46 @@ type plant_record = {
 }
 
 val deploy_pairs :
-  Numerics.Rng.t -> Demandspace.Space.t -> plants:int -> Protection.t array
-(** Each plant gets a fresh, independently developed 1-out-of-2 system. *)
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
+  Numerics.Rng.t ->
+  Demandspace.Space.t ->
+  plants:int ->
+  Protection.t array
+(** Each plant gets a fresh, independently developed 1-out-of-2 system.
+
+    Sharded over [Exec.map_shards]: with [shards >= 2] (the default
+    shard count is [Exec.default_shards ()]), shard [k] develops a
+    contiguous slice of the plants on its own [Rng.split] substream and
+    the slices concatenate in plant order, so the fleet is a pure
+    function of [(seed, shards)] — byte-identical for any pool size.
+    [~shards:1] is the legacy sequential path: the parent RNG is
+    threaded through the plants directly, byte-identical to the
+    pre-sharding implementation. *)
 
 val deploy_singles :
-  Numerics.Rng.t -> Demandspace.Space.t -> plants:int -> Protection.t array
-(** Single-version plants (the comparison fleet). *)
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
+  Numerics.Rng.t ->
+  Demandspace.Space.t ->
+  plants:int ->
+  Protection.t array
+(** Single-version plants (the comparison fleet). Same sharding
+    contract as {!deploy_pairs}. *)
 
-val observe : Numerics.Rng.t -> Protection.t array -> demands_per_plant:int -> t
-(** Run every plant through its own operational campaign. *)
+val observe :
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
+  Numerics.Rng.t ->
+  Protection.t array ->
+  demands_per_plant:int ->
+  t
+(** Run every plant through its own operational campaign. Same sharding
+    contract as {!deploy_pairs}: shard [k] runs its plant slice on its
+    own substream (each plant's demands drawn in blocks — see
+    {!Runner.run}) and records merge in plant order; telemetry is
+    replayed at join in plant order on the calling domain, so metrics
+    and the run log are independent of the domain count. *)
 
 val size : t -> int
 val records : t -> plant_record array

@@ -20,6 +20,15 @@ let step t =
 
 let next_demand t = Demandspace.Profile.sample t.profile t.rng
 
+(* Batched ids for the simulation hot path. Only valid for a pure demand
+   sequence (demand_rate = 1.0): with idle periods the idle draws
+   interleave with the profile draws, so a batch would consume the RNG
+   differently from repeated [next_demand]. *)
+let sample_demands_into t buf ~n =
+  if t.demand_rate < 1.0 then
+    invalid_arg "Plant.sample_demands_into: plant has idle periods";
+  Demandspace.Profile.sample_many t.profile t.rng buf ~n
+
 let demands t ~count = Array.init count (fun _ -> next_demand t)
 
 let demand_rate t = t.demand_rate

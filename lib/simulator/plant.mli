@@ -19,6 +19,13 @@ val step : t -> event
 val next_demand : t -> Demandspace.Demand.t
 (** Skip idle periods and produce the next demand. *)
 
+val sample_demands_into : t -> int array -> n:int -> unit
+(** Fill [buf.(0 .. n-1)] with the ids of the next [n] demands in one
+    batch. Byte-compatible with [n] {!next_demand} calls — the RNG draw
+    sequence is identical — so hot loops can sample in blocks without
+    changing any output. Raises [Invalid_argument] if the plant has idle
+    periods ([demand_rate < 1.0]), where batching would reorder draws. *)
+
 val demands : t -> count:int -> Demandspace.Demand.t array
 (** A batch of demands. *)
 

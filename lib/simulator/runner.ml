@@ -20,37 +20,61 @@ type stats = {
   pfd_ci : float * float;
 }
 
+(* Demand ids are drawn in blocks of this size: the profile draws stay in
+   exactly the order the one-demand-at-a-time loop used (so the RNG
+   stream is byte-identical — pinned by test), but the sampler's table
+   lookups run in a tight batch and the evaluation loop touches only
+   pre-hoisted arrays. *)
+let sample_block = 1024
+
 let run ?(log = false) rng ~system ~demand_count =
   if demand_count <= 0 then invalid_arg "Runner.run: demand_count must be positive";
   let span = Obs.Trace.enter "runner.run" in
+  let draws0 = Rng.draws rng in
   let channels = Protection.channels system in
   let n_channels = List.length channels in
   let channel_failures = Array.make n_channels 0 in
+  (* Hoisted evaluation state: a channel fails on a demand exactly when
+     the demand lies in its version's failure set, and the adjudicator
+     commands shutdown when at least [required] channels do — so the
+     per-demand work reduces to [n_channels] bitset lookups and two
+     integer comparisons, with no per-demand allocation. *)
+  let failure_sets =
+    Array.of_list
+      (List.map
+         (fun c -> Demandspace.Version.failure_set (Channel.version c))
+         channels)
+  in
+  let required = Adjudicator.required (Protection.adjudicator system) in
   let system_failures = ref 0 in
   let coincident = ref 0 in
   let space = Protection.space system in
   let plant = Plant.create ~profile:(Demandspace.Space.profile space) rng in
-  for step = 1 to demand_count do
-    let demand = Plant.next_demand plant in
-    let outputs = List.map (fun c -> Channel.respond c demand) channels in
-    let failed =
-      List.mapi
-        (fun i o ->
-          if o = Channel.No_action then begin
-            channel_failures.(i) <- channel_failures.(i) + 1;
-            true
-          end
-          else false)
-        outputs
-    in
-    let n_failed = List.length (List.filter Fun.id failed) in
-    if n_failed >= 2 then incr coincident;
-    if Adjudicator.system_fails (Protection.adjudicator system) outputs then begin
-      incr system_failures;
-      if log then
-        Logs.debug (fun m ->
-            m "step %d: system failure on %a" step Demandspace.Demand.pp demand)
-    end
+  let block = Array.make (min sample_block demand_count) 0 in
+  let step = ref 0 in
+  while !step < demand_count do
+    let n = min (Array.length block) (demand_count - !step) in
+    Plant.sample_demands_into plant block ~n;
+    for i = 0 to n - 1 do
+      let id = Array.unsafe_get block i in
+      let n_failed = ref 0 in
+      for c = 0 to n_channels - 1 do
+        if Bitset.mem (Array.unsafe_get failure_sets c) id then begin
+          channel_failures.(c) <- channel_failures.(c) + 1;
+          incr n_failed
+        end
+      done;
+      if !n_failed >= 2 then incr coincident;
+      if n_channels - !n_failed < required then begin
+        incr system_failures;
+        if log then
+          Logs.debug (fun m ->
+              m "step %d: system failure on %a" (!step + i + 1)
+                Demandspace.Demand.pp
+                (Demandspace.Demand.of_int id))
+      end
+    done;
+    step := !step + n
   done;
   let estimated_pfd =
     float_of_int !system_failures /. float_of_int demand_count
@@ -69,7 +93,9 @@ let run ?(log = false) rng ~system ~demand_count =
         ("system_failures", Obs.Json.Int !system_failures);
         ("coincident_failures", Obs.Json.Int !coincident);
         ("estimated_pfd", Obs.Json.Float estimated_pfd);
-        ("rng_draws", Obs.Json.Int (Rng.draws rng));
+        (* Draws made by THIS run — the delta across the call, not the
+           generator's lifetime total (shared generators run many runs). *)
+        ("rng_draws", Obs.Json.Int (Rng.draws rng - draws0));
       ];
   Obs.Trace.leave span;
   {

@@ -1,0 +1,205 @@
+(* Prop — a small property-based testing harness over Numerics.Rng.
+
+   Each case draws its inputs from a dedicated [Rng.split] substream of
+   one fixed base seed, so a suite is deterministic from run to run and
+   across machines; set PROP_SEED=<int> to replay a reported failure or
+   to explore a different stream. On failure the harness greedily
+   shrinks the counterexample and reports the base seed, the case index
+   and the shrunk value. *)
+
+let base_seed =
+  match Sys.getenv_opt "PROP_SEED" with
+  | None | Some "" -> 0x5eed_cafe
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some seed -> seed
+      | None -> invalid_arg ("PROP_SEED is not an integer: " ^ s))
+
+type 'a t = {
+  gen : Numerics.Rng.t -> 'a;
+  shrink : 'a -> 'a Seq.t;
+  pp : Format.formatter -> 'a -> unit;
+}
+
+let no_shrink _ = Seq.empty
+let make ?(shrink = no_shrink) ~pp gen = { gen; shrink; pp }
+let generate t rng = t.gen rng
+
+(* ---- primitives ---- *)
+
+(* Shrinking moves toward [lo]: jump all the way, then halve the
+   distance, then step by one. *)
+let shrink_int_toward lo v =
+  List.to_seq [ lo; lo + ((v - lo) / 2); v - 1 ]
+  |> Seq.filter (fun c -> c >= lo && c < v)
+
+let int_range lo hi =
+  if hi < lo then invalid_arg "Prop.int_range: empty range";
+  make
+    ~shrink:(shrink_int_toward lo)
+    ~pp:Format.pp_print_int
+    (fun rng -> lo + Numerics.Rng.int rng (hi - lo + 1))
+
+let pair a b =
+  make
+    ~shrink:(fun (x, y) ->
+      Seq.append
+        (Seq.map (fun x' -> (x', y)) (a.shrink x))
+        (Seq.map (fun y' -> (x, y')) (b.shrink y)))
+    ~pp:(fun ppf (x, y) -> Format.fprintf ppf "(@[%a,@ %a@])" a.pp x b.pp y)
+    (fun rng ->
+      let x = a.gen rng in
+      let y = b.gen rng in
+      (x, y))
+
+let triple a b c =
+  make
+    ~shrink:(fun (x, y, z) ->
+      List.to_seq
+        [
+          Seq.map (fun x' -> (x', y, z)) (a.shrink x);
+          Seq.map (fun y' -> (x, y', z)) (b.shrink y);
+          Seq.map (fun z' -> (x, y, z')) (c.shrink z);
+        ]
+      |> Seq.concat)
+    ~pp:(fun ppf (x, y, z) ->
+      Format.fprintf ppf "(@[%a,@ %a,@ %a@])" a.pp x b.pp y c.pp z)
+    (fun rng ->
+      let x = a.gen rng in
+      let y = b.gen rng in
+      let z = c.gen rng in
+      (x, y, z))
+
+let quad a b c d =
+  make
+    ~shrink:(fun (x, y, z, w) ->
+      List.to_seq
+        [
+          Seq.map (fun x' -> (x', y, z, w)) (a.shrink x);
+          Seq.map (fun y' -> (x, y', z, w)) (b.shrink y);
+          Seq.map (fun z' -> (x, y, z', w)) (c.shrink z);
+          Seq.map (fun w' -> (x, y, z, w')) (d.shrink w);
+        ]
+      |> Seq.concat)
+    ~pp:(fun ppf (x, y, z, w) ->
+      Format.fprintf ppf "(@[%a,@ %a,@ %a,@ %a@])" a.pp x b.pp y c.pp z d.pp w)
+    (fun rng ->
+      let x = a.gen rng in
+      let y = b.gen rng in
+      let z = c.gen rng in
+      let w = d.gen rng in
+      (x, y, z, w))
+
+(* ---- domain generators ---- *)
+
+(* RNG seeds: positive, wide enough to hit distinct splitmix streams,
+   shrinking toward 1 for readable counterexamples. *)
+let seed = int_range 1 1_000_000
+
+(* Shard counts: 1 (the legacy sequential path) through well past the
+   default, so properties exercise both branches of the sharding
+   contract. *)
+let shard_count = int_range 1 24
+
+(* Sized universe: a handful of faults with mixed p and a subdivided
+   total failure measure. Shrinks by dropping trailing faults. *)
+let universe ?(max_faults = 10) () =
+  if max_faults < 1 then invalid_arg "Prop.universe: max_faults must be >= 1";
+  make
+    ~shrink:(fun u ->
+      let faults = Core.Universe.faults u in
+      let n = Array.length faults in
+      List.to_seq [ (n + 1) / 2; n - 1 ]
+      |> Seq.filter (fun k -> k >= 1 && k < n)
+      |> Seq.map (fun k -> Core.Universe.of_faults (Array.sub faults 0 k)))
+    ~pp:Core.Universe.pp
+    (fun rng ->
+      let n = 1 + Numerics.Rng.int rng max_faults in
+      let total_q = Numerics.Rng.uniform rng ~lo:0.05 ~hi:0.6 in
+      Core.Universe.uniform_random rng ~n ~p_lo:0.02 ~p_hi:0.5 ~total_q)
+
+(* Sized concrete demand space: a uniform profile and a few interval
+   faults (overlaps allowed — versions take unions). Shrinks by
+   dropping trailing faults. *)
+let space ?(max_size = 160) ?(max_faults = 5) () =
+  if max_size < 40 then invalid_arg "Prop.space: max_size must be >= 40";
+  if max_faults < 1 then invalid_arg "Prop.space: max_faults must be >= 1";
+  let rebuild sp k =
+    Demandspace.Space.create
+      ~profile:(Demandspace.Space.profile sp)
+      ~faults:
+        (Array.init k (fun i ->
+             ( Demandspace.Space.region sp i,
+               Demandspace.Space.introduction_prob sp i )))
+  in
+  make
+    ~shrink:(fun sp ->
+      let n = Demandspace.Space.fault_count sp in
+      List.to_seq [ (n + 1) / 2; n - 1 ]
+      |> Seq.filter (fun k -> k >= 1 && k < n)
+      |> Seq.map (rebuild sp))
+    ~pp:Demandspace.Space.pp
+    (fun rng ->
+      let size = 40 + Numerics.Rng.int rng (max_size - 40 + 1) in
+      let n_faults = 1 + Numerics.Rng.int rng max_faults in
+      let faults =
+        Array.init n_faults (fun _ ->
+            let lo = Numerics.Rng.int rng size in
+            let width = 1 + Numerics.Rng.int rng (max 1 (size / 8)) in
+            let hi = min (size - 1) (lo + width - 1) in
+            let region = Demandspace.Region.interval ~space_size:size ~lo ~hi in
+            (region, Numerics.Rng.uniform rng ~lo:0.05 ~hi:0.7))
+      in
+      Demandspace.Space.create
+        ~profile:(Demandspace.Profile.uniform ~size)
+        ~faults)
+
+(* ---- runner ---- *)
+
+let run_case f value =
+  match f value with
+  | () -> None
+  | exception exn -> Some (Printexc.to_string exn)
+
+(* Greedy shrink: take the first shrink candidate that still fails,
+   repeat from there, give up when none fails or the budget runs out. *)
+let rec shrink_loop t f value err budget =
+  if budget <= 0 then (value, err)
+  else
+    let failing =
+      Seq.find_map
+        (fun v ->
+          match run_case f v with Some e -> Some (v, e) | None -> None)
+        (t.shrink value)
+    in
+    match failing with
+    | None -> (value, err)
+    | Some (v, e) -> shrink_loop t f v e (budget - 1)
+
+(* First failing case (if any), with its value greedily shrunk. Exposed
+   separately from {!check} so the harness can be tested itself. *)
+let find_counterexample ?(cases = 100) t f =
+  if cases < 1 then invalid_arg "Prop.find_counterexample: cases must be >= 1";
+  let parent = Numerics.Rng.create ~seed:base_seed in
+  let rec search case =
+    if case >= cases then None
+    else
+      let rng = Numerics.Rng.split parent ~index:case in
+      let value = t.gen rng in
+      match run_case f value with
+      | None -> search (case + 1)
+      | Some err ->
+          let value, err = shrink_loop t f value err 500 in
+          Some (case, value, err)
+  in
+  search 0
+
+let check ?cases name t f =
+  match find_counterexample ?cases t f with
+  | None -> ()
+  | Some (case, value, err) ->
+      Alcotest.failf
+        "property %S: case %d failed; replay with PROP_SEED=%d@\n\
+         counterexample (shrunk): %a@\n\
+         %s"
+        name case base_seed t.pp value err

@@ -1,0 +1,543 @@
+(* Property-based suite for the sharded simulator (harness: Prop).
+
+   Three layers of evidence that sharding and batched demand sampling
+   changed nothing they must not change:
+
+   - golden example tests pin the exact pre-change outputs (captured on
+     the commit before the fleet was sharded) for the legacy
+     [~shards:1] path and the rewritten runner loop;
+   - randomized properties check, over hundreds of generated
+     (seed, space, shards) configurations, that every sharded entry
+     point is a pure function of (seed, shards) — 1-domain and 4-domain
+     pools byte-identical — that [~shards:1] reproduces a test-local
+     reimplementation of the pre-change algorithms draw for draw, and
+     that [Rng.total_draws] accounting is exact under parallel runs;
+   - statistical tests check the fleet estimators against their oracles
+     (dispersion ~ 1 for a common PFD, method of moments vs the true
+     PFD summary). *)
+
+open Numerics
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let check_float_bits name a b =
+  Alcotest.(check int64) name (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_bits name a b =
+  Alcotest.(check (array int64))
+    name
+    (Array.map Int64.bits_of_float a)
+    (Array.map Int64.bits_of_float b)
+
+(* Pools shared by every test; a single-core container slows the
+   4-domain pool but cannot change any output, which is the point. *)
+let pool1 = lazy (Exec.Pool.create ~domains:1 ())
+let pool4 = lazy (Exec.Pool.create ~domains:4 ())
+
+(* ---- reference implementations (the pre-change algorithms) ---- *)
+
+(* The pre-batching runner loop: one demand at a time through
+   [Plant.next_demand] and the full channel-output list machinery.
+   [Runner.run] must consume the identical RNG draw sequence and produce
+   the identical counts. *)
+let reference_run rng ~system ~demand_count =
+  let channels = Simulator.Protection.channels system in
+  let channel_failures = Array.make (List.length channels) 0 in
+  let system_failures = ref 0 in
+  let coincident = ref 0 in
+  let space = Simulator.Protection.space system in
+  let plant =
+    Simulator.Plant.create ~profile:(Demandspace.Space.profile space) rng
+  in
+  for _ = 1 to demand_count do
+    let demand = Simulator.Plant.next_demand plant in
+    let outputs =
+      List.map (fun c -> Simulator.Channel.respond c demand) channels
+    in
+    List.iteri
+      (fun i o ->
+        if o = Simulator.Channel.No_action then
+          channel_failures.(i) <- channel_failures.(i) + 1)
+      outputs;
+    let n_failed =
+      List.length
+        (List.filter (fun o -> o = Simulator.Channel.No_action) outputs)
+    in
+    if n_failed >= 2 then incr coincident;
+    if
+      Simulator.Adjudicator.system_fails
+        (Simulator.Protection.adjudicator system)
+        outputs
+    then incr system_failures
+  done;
+  (!system_failures, !coincident, channel_failures)
+
+(* The pre-sharding fleet: develop the plants in order on the parent
+   RNG, then run each through the reference runner in order. *)
+let reference_pairs_fleet rng space ~plants ~demands_per_plant =
+  let systems =
+    Array.init plants (fun _ ->
+        let va, vb = Simulator.Devteam.develop_pair rng space in
+        Simulator.Protection.one_out_of_two
+          (Simulator.Channel.create ~name:"A" va)
+          (Simulator.Channel.create ~name:"B" vb))
+  in
+  Array.map
+    (fun system ->
+      let failures, _, _ =
+        reference_run rng ~system ~demand_count:demands_per_plant
+      in
+      (failures, Int64.bits_of_float (Simulator.Protection.true_pfd system)))
+    systems
+
+(* ---- the fixed golden space (mirrors the capture program) ---- *)
+
+let golden_space () =
+  let profile = Demandspace.Profile.uniform ~size:200 in
+  let r1 = Demandspace.Region.interval ~space_size:200 ~lo:0 ~hi:19 in
+  let r2 = Demandspace.Region.interval ~space_size:200 ~lo:50 ~hi:59 in
+  let r3 = Demandspace.Region.points ~space_size:200 [ 100; 150 ] in
+  Demandspace.Space.create ~profile
+    ~faults:[| (r1, 0.4); (r2, 0.25); (r3, 0.6) |]
+
+let fleet_signature fleet =
+  Array.map
+    (fun r ->
+      ( r.Simulator.Fleet.failures,
+        Int64.bits_of_float r.Simulator.Fleet.system_pfd ))
+    (Simulator.Fleet.records fleet)
+
+(* ---- golden example tests ---- *)
+
+(* Captured from the pre-sharding implementation: [~shards:1] must
+   reproduce these numbers forever. *)
+let test_golden_pairs_fleet () =
+  let rng = Rng.create ~seed:4242 in
+  let space = golden_space () in
+  let systems = Simulator.Fleet.deploy_pairs ~shards:1 rng space ~plants:6 in
+  let fleet =
+    Simulator.Fleet.observe ~shards:1 rng systems ~demands_per_plant:400
+  in
+  Alcotest.(check (array (pair int int64)))
+    "pairs fleet pinned to pre-change output"
+    [|
+      (27, 0x3faeb851eb851eb8L);
+      (0, 0x0L);
+      (0, 0x0L);
+      (0, 0x0L);
+      (5, 0x3f847ae147ae147bL);
+      (5, 0x3f847ae147ae147bL);
+    |]
+    (fleet_signature fleet);
+  check_int "parent draw count pinned" 4836 (Rng.draws rng)
+
+let test_golden_singles_fleet () =
+  let rng = Rng.create ~seed:99 in
+  let space = golden_space () in
+  let systems = Simulator.Fleet.deploy_singles ~shards:1 rng space ~plants:5 in
+  let fleet =
+    Simulator.Fleet.observe ~shards:1 rng systems ~demands_per_plant:250
+  in
+  Alcotest.(check (array (pair int int64)))
+    "singles fleet pinned to pre-change output"
+    [|
+      (2, 0x3f847ae147ae147bL);
+      (3, 0x3f847ae147ae147bL);
+      (0, 0x0L);
+      (0, 0x0L);
+      (30, 0x3fbc28f5c28f5c29L);
+    |]
+    (fleet_signature fleet);
+  check_int "parent draw count pinned" 2515 (Rng.draws rng)
+
+let test_golden_runner () =
+  let space = golden_space () in
+  let rng = Rng.create ~seed:777 in
+  let system =
+    Simulator.Protection.one_out_of_two
+      (Simulator.Channel.create ~name:"A"
+         (Demandspace.Version.create space [ 0; 2 ]))
+      (Simulator.Channel.create ~name:"B"
+         (Demandspace.Version.create space [ 1; 2 ]))
+  in
+  let stats = Simulator.Runner.run rng ~system ~demand_count:1000 in
+  check_int "system failures" 10 stats.Simulator.Runner.system_failures;
+  check_int "coincident" 10 stats.Simulator.Runner.coincident_failures;
+  Alcotest.(check (array int))
+    "channel failures" [| 117; 62 |] stats.Simulator.Runner.channel_failures;
+  check_int "draws" 2000 (Rng.draws rng);
+  Alcotest.(check int64)
+    "estimated pfd bits" 0x3f847ae147ae147bL
+    (Int64.bits_of_float stats.Simulator.Runner.estimated_pfd)
+
+let test_golden_runner_voted () =
+  let space = golden_space () in
+  let rng = Rng.create ~seed:555 in
+  let voted =
+    Simulator.Protection.voted ~required:2
+      [
+        Simulator.Channel.create ~name:"A"
+          (Demandspace.Version.create space [ 0 ]);
+        Simulator.Channel.create ~name:"B"
+          (Demandspace.Version.create space [ 1 ]);
+        Simulator.Channel.create ~name:"C"
+          (Demandspace.Version.create space [ 0; 1 ]);
+      ]
+  in
+  let s = Simulator.Runner.run rng ~system:voted ~demand_count:2000 in
+  check_int "system failures" 306 s.Simulator.Runner.system_failures;
+  check_int "coincident" 306 s.Simulator.Runner.coincident_failures;
+  Alcotest.(check (array int))
+    "channel failures" [| 211; 95; 306 |]
+    s.Simulator.Runner.channel_failures;
+  check_int "draws" 4000 (Rng.draws rng)
+
+(* Example of the headline acceptance criterion: one fleet, default
+   shard count, observed on a 1-domain and a 4-domain pool — every
+   record byte-identical. *)
+let test_fleet_domain_identity_example () =
+  let space = golden_space () in
+  let observe pool =
+    let rng = Rng.create ~seed:2026 in
+    let systems =
+      Simulator.Fleet.deploy_pairs ~pool ~shards:16 rng space ~plants:23
+    in
+    let fleet =
+      Simulator.Fleet.observe ~pool ~shards:16 rng systems
+        ~demands_per_plant:500
+    in
+    (fleet_signature fleet, Rng.draws rng)
+  in
+  let sig1, draws1 = observe (Lazy.force pool1) in
+  let sig4, draws4 = observe (Lazy.force pool4) in
+  Alcotest.(check (array (pair int int64)))
+    "fleet records: 4 domains = 1 domain" sig1 sig4;
+  check_int "parent draws: 4 domains = 1 domain" draws1 draws4
+
+(* ---- randomized properties ---- *)
+
+let plants_gen = Prop.int_range 1 8
+let demands_gen = Prop.int_range 1 400
+
+let fleet_case =
+  Prop.pair
+    (Prop.pair Prop.seed (Prop.space ~max_size:120 ~max_faults:4 ()))
+    (Prop.triple plants_gen demands_gen Prop.shard_count)
+
+(* The headline property (>= 100 cases): the whole deploy-and-observe
+   pipeline is a pure function of (seed, shards) — pool size never
+   matters — and the parallel run consumes exactly as many global RNG
+   draws as the 1-domain run. *)
+let test_prop_fleet_domain_invariance () =
+  Prop.check ~cases:100 "fleet pipeline is domain-count invariant" fleet_case
+    (fun ((seed, space), (plants, demands_per_plant, shards)) ->
+      let observe pool =
+        let rng = Rng.create ~seed in
+        let before = Rng.total_draws () in
+        let systems =
+          Simulator.Fleet.deploy_pairs ~pool ~shards rng space ~plants
+        in
+        let fleet =
+          Simulator.Fleet.observe ~pool ~shards rng systems ~demands_per_plant
+        in
+        (fleet_signature fleet, Rng.draws rng, Rng.total_draws () - before)
+      in
+      let sig1, draws1, total1 = observe (Lazy.force pool1) in
+      let sig4, draws4, total4 = observe (Lazy.force pool4) in
+      Alcotest.(check (array (pair int int64)))
+        "records byte-identical across pools" sig1 sig4;
+      check_int "parent draws identical across pools" draws1 draws4;
+      check_int "global draw accounting identical across pools" total1 total4)
+
+(* [~shards:1] is the legacy path: it must replay the pre-change
+   algorithms (sequential fleet loops, one-demand-at-a-time runner)
+   draw for draw. *)
+let test_prop_fleet_matches_reference () =
+  Prop.check ~cases:60 "fleet ~shards:1 matches the pre-change reference"
+    (Prop.pair
+       (Prop.pair Prop.seed (Prop.space ~max_size:120 ~max_faults:4 ()))
+       (Prop.pair plants_gen demands_gen))
+    (fun ((seed, space), (plants, demands_per_plant)) ->
+      let rng_new = Rng.create ~seed in
+      let systems = Simulator.Fleet.deploy_pairs ~shards:1 rng_new space ~plants in
+      let fleet =
+        Simulator.Fleet.observe ~shards:1 rng_new systems ~demands_per_plant
+      in
+      let rng_ref = Rng.create ~seed in
+      let expected =
+        reference_pairs_fleet rng_ref space ~plants ~demands_per_plant
+      in
+      Alcotest.(check (array (pair int int64)))
+        "records match reference" expected (fleet_signature fleet);
+      check_int "draw sequences identical" (Rng.draws rng_ref)
+        (Rng.draws rng_new))
+
+(* Batched demand sampling in Runner.run is byte-compatible with the
+   one-demand-at-a-time loop for any demand count (cases straddle the
+   1024-demand block size) and any M-out-of-N adjudicator. *)
+let test_prop_runner_batching () =
+  Prop.check ~cases:60 "Runner.run batching matches the reference loop"
+    (Prop.quad Prop.seed
+       (Prop.space ~max_size:120 ~max_faults:4 ())
+       (Prop.int_range 1 2600) (Prop.int_range 1 3))
+    (fun (seed, space, demand_count, n_channels) ->
+      let build rng =
+        let channels =
+          List.init n_channels (fun i ->
+              Simulator.Channel.create
+                ~name:(Printf.sprintf "ch%d" i)
+                (Simulator.Devteam.develop rng space))
+        in
+        let required = 1 + ((seed + n_channels) mod n_channels) in
+        Simulator.Protection.voted ~required channels
+      in
+      let rng_new = Rng.create ~seed in
+      let system_new = build rng_new in
+      let stats =
+        Simulator.Runner.run rng_new ~system:system_new ~demand_count
+      in
+      let rng_ref = Rng.create ~seed in
+      let system_ref = build rng_ref in
+      let failures, coincident, channel_failures =
+        reference_run rng_ref ~system:system_ref ~demand_count
+      in
+      check_int "system failures" failures
+        stats.Simulator.Runner.system_failures;
+      check_int "coincident failures" coincident
+        stats.Simulator.Runner.coincident_failures;
+      Alcotest.(check (array int))
+        "channel failures" channel_failures
+        stats.Simulator.Runner.channel_failures;
+      check_int "draw sequences identical" (Rng.draws rng_ref)
+        (Rng.draws rng_new))
+
+(* Montecarlo.estimate: pure function of (seed, shards). *)
+let test_prop_montecarlo_invariance () =
+  Prop.check ~cases:30 "Montecarlo.estimate is domain-count invariant"
+    (Prop.quad Prop.seed
+       (Prop.universe ~max_faults:8 ())
+       (Prop.int_range 1 16) (Prop.int_range 1 200))
+    (fun (seed, universe, shards, replications) ->
+      let run pool =
+        Simulator.Montecarlo.estimate ~pool ~shards (Rng.create ~seed) universe
+          ~replications
+      in
+      let a = run (Lazy.force pool1) in
+      let b = run (Lazy.force pool4) in
+      check_bits "theta1 samples" a.Simulator.Montecarlo.theta1_samples
+        b.Simulator.Montecarlo.theta1_samples;
+      check_bits "theta2 samples" a.Simulator.Montecarlo.theta2_samples
+        b.Simulator.Montecarlo.theta2_samples;
+      check_float_bits "p_n1_pos" a.Simulator.Montecarlo.p_n1_pos
+        b.Simulator.Montecarlo.p_n1_pos;
+      check_float_bits "p_n2_pos" a.Simulator.Montecarlo.p_n2_pos
+        b.Simulator.Montecarlo.p_n2_pos;
+      check_float_bits "risk ratio" a.Simulator.Montecarlo.risk_ratio
+        b.Simulator.Montecarlo.risk_ratio;
+      Alcotest.(check (array int))
+        "per-shard draw accounting" a.Simulator.Montecarlo.shard_draws
+        b.Simulator.Montecarlo.shard_draws)
+
+(* Campaign.estimate_mttf: pure function of (seed, shards), including
+   the per-shard draw accounts. *)
+let test_prop_campaign_invariance () =
+  Prop.check ~cases:30 "Campaign.estimate_mttf is domain-count invariant"
+    (Prop.quad Prop.seed
+       (Prop.space ~max_size:120 ~max_faults:4 ())
+       (Prop.int_range 1 16) (Prop.pair (Prop.int_range 1 60) (Prop.int_range 1 150)))
+    (fun (seed, space, shards, (missions, max_demands)) ->
+      let system =
+        let rng = Rng.create ~seed:(seed + 1) in
+        let va, vb = Simulator.Devteam.develop_pair rng space in
+        Simulator.Protection.one_out_of_two
+          (Simulator.Channel.create ~name:"A" va)
+          (Simulator.Channel.create ~name:"B" vb)
+      in
+      let run pool =
+        Simulator.Campaign.estimate_mttf ~pool ~shards (Rng.create ~seed)
+          ~system ~missions ~max_demands
+      in
+      let a = run (Lazy.force pool1) in
+      let b = run (Lazy.force pool4) in
+      check_int "failures" a.Simulator.Campaign.failures
+        b.Simulator.Campaign.failures;
+      check_int "censored" a.Simulator.Campaign.censored
+        b.Simulator.Campaign.censored;
+      check_float_bits "mttf" a.Simulator.Campaign.mean_time_to_failure
+        b.Simulator.Campaign.mean_time_to_failure;
+      check_float_bits "failure rate" a.Simulator.Campaign.failure_rate
+        b.Simulator.Campaign.failure_rate;
+      check_int "shards recorded" shards a.Simulator.Campaign.shards;
+      Alcotest.(check (array int))
+        "per-shard draw accounting" a.Simulator.Campaign.shard_draws
+        b.Simulator.Campaign.shard_draws;
+      check_int "one shard account per shard" shards
+        (Array.length a.Simulator.Campaign.shard_draws))
+
+(* Pfd_dist: the exact enumeration is deterministic in shards (pool
+   size never matters); the grid convolution is bit-identical even
+   across shard counts. *)
+let test_prop_pfd_dist_invariance () =
+  Prop.check ~cases:30 "Pfd_dist exact/grid are domain-count invariant"
+    (Prop.pair (Prop.universe ~max_faults:8 ()) (Prop.int_range 1 8))
+    (fun (universe, shards) ->
+      let check_dist name a b =
+        check_bits (name ^ ": support") (Core.Pfd_dist.support a)
+          (Core.Pfd_dist.support b);
+        check_bits (name ^ ": masses") (Core.Pfd_dist.masses a)
+          (Core.Pfd_dist.masses b)
+      in
+      let p1 = Lazy.force pool1 and p4 = Lazy.force pool4 in
+      check_dist "exact_single"
+        (Core.Pfd_dist.exact_single ~pool:p1 ~shards universe)
+        (Core.Pfd_dist.exact_single ~pool:p4 ~shards universe);
+      check_dist "exact_pair"
+        (Core.Pfd_dist.exact_pair ~pool:p1 ~shards universe)
+        (Core.Pfd_dist.exact_pair ~pool:p4 ~shards universe);
+      check_dist "grid_single across pools"
+        (Core.Pfd_dist.grid_single ~pool:p1 ~shards universe ~bins:256)
+        (Core.Pfd_dist.grid_single ~pool:p4 ~shards universe ~bins:256);
+      check_dist "grid_single across shard counts"
+        (Core.Pfd_dist.grid_single ~pool:p4 ~shards:1 universe ~bins:256)
+        (Core.Pfd_dist.grid_single ~pool:p4 ~shards universe ~bins:256))
+
+(* ---- the harness itself ---- *)
+
+(* A deliberately failing property: the harness must find it, shrink
+   the counterexample to the exact boundary, and report the same case
+   again on replay (same PROP_SEED => same counterexample). *)
+let test_harness_shrinks () =
+  let gen = Prop.int_range 0 1000 in
+  let property v = if v >= 700 then failwith "too big" in
+  match Prop.find_counterexample ~cases:100 gen property with
+  | None -> Alcotest.fail "property unexpectedly passed"
+  | Some (case, value, _err) ->
+      check_int "shrunk to the exact boundary" 700 value;
+      (match Prop.find_counterexample ~cases:100 gen property with
+      | Some (case', value', _) ->
+          check_int "replay finds the same case" case case';
+          check_int "replay finds the same counterexample" value value'
+      | None -> Alcotest.fail "replay did not reproduce the failure");
+      (* a satisfiable property yields no counterexample *)
+      check_bool "passing property has no counterexample" true
+        (Prop.find_counterexample ~cases:100 gen (fun _ -> ()) = None)
+
+(* ---- statistical estimator tests ---- *)
+
+(* When every plant runs the *same* system the per-plant failure counts
+   are iid binomial, so the overdispersion statistic concentrates on 1:
+   with K plants its sampling s.d. is about sqrt(2/(K-1)) ~ 0.09 here,
+   and the bound below sits more than 4 sigma out. *)
+let test_dispersion_common_pfd () =
+  let space = golden_space () in
+  let rng = Rng.create ~seed:31337 in
+  let system =
+    Simulator.Protection.create
+      [
+        Simulator.Channel.create ~name:"common"
+          (Demandspace.Version.create space [ 0 ]);
+      ]
+  in
+  check_bool "system fails sometimes (test is non-vacuous)" true
+    (Simulator.Protection.true_pfd system > 0.0);
+  let systems = Array.make 256 system in
+  let fleet =
+    Simulator.Fleet.observe ~pool:(Lazy.force pool4) ~shards:16 rng systems
+      ~demands_per_plant:2000
+  in
+  let d = Simulator.Fleet.dispersion fleet in
+  check_bool
+    (Printf.sprintf "overdispersion %.3f in [0.6, 1.4]"
+       d.Simulator.Fleet.overdispersion)
+    true
+    (d.Simulator.Fleet.overdispersion > 0.6
+    && d.Simulator.Fleet.overdispersion < 1.4)
+
+(* On a large diverse fleet the method-of-moments estimates recover the
+   oracle's true PFD moments from counts alone. *)
+let test_moments_match_oracle () =
+  let space = golden_space () in
+  let rng = Rng.create ~seed:90210 in
+  let pool = Lazy.force pool4 in
+  let systems =
+    Simulator.Fleet.deploy_pairs ~pool ~shards:16 rng space ~plants:300
+  in
+  let fleet =
+    Simulator.Fleet.observe ~pool ~shards:16 rng systems
+      ~demands_per_plant:5000
+  in
+  let mu_hat, var_hat = Simulator.Fleet.estimate_pfd_moments fleet in
+  let oracle = Simulator.Fleet.true_pfd_summary fleet in
+  let true_var = oracle.Stats.std *. oracle.Stats.std in
+  let rel a b = abs_float (a -. b) /. b in
+  check_bool
+    (Printf.sprintf "MoM mean %.3g within 15%% of true mean %.3g" mu_hat
+       oracle.Stats.mean)
+    true
+    (rel mu_hat oracle.Stats.mean < 0.15);
+  check_bool
+    (Printf.sprintf "MoM variance %.3g within 40%% of true variance %.3g"
+       var_hat true_var)
+    true
+    (rel var_hat true_var < 0.40)
+
+(* The fleet's per-plant records agree with the oracle on demand counts
+   and the run is reproducible: same seed, same shards => same fleet. *)
+let test_fleet_reproducible () =
+  let space = golden_space () in
+  let run () =
+    let rng = Rng.create ~seed:1717 in
+    let systems =
+      Simulator.Fleet.deploy_singles ~pool:(Lazy.force pool4) ~shards:7 rng
+        space ~plants:11
+    in
+    fleet_signature
+      (Simulator.Fleet.observe ~pool:(Lazy.force pool4) ~shards:7 rng systems
+         ~demands_per_plant:321)
+  in
+  Alcotest.(check (array (pair int int64)))
+    "same (seed, shards) => byte-identical fleet" (run ()) (run ())
+
+let () =
+  Alcotest.run "prop"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "pairs fleet pinned" `Quick test_golden_pairs_fleet;
+          Alcotest.test_case "singles fleet pinned" `Quick
+            test_golden_singles_fleet;
+          Alcotest.test_case "runner 1oo2 pinned" `Quick test_golden_runner;
+          Alcotest.test_case "runner 2oo3 pinned" `Quick
+            test_golden_runner_voted;
+          Alcotest.test_case "fleet domain identity example" `Quick
+            test_fleet_domain_identity_example;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "fleet domain invariance (100 cases)" `Quick
+            test_prop_fleet_domain_invariance;
+          Alcotest.test_case "fleet shards=1 = pre-change reference" `Quick
+            test_prop_fleet_matches_reference;
+          Alcotest.test_case "runner batching = reference loop" `Quick
+            test_prop_runner_batching;
+          Alcotest.test_case "montecarlo invariance" `Quick
+            test_prop_montecarlo_invariance;
+          Alcotest.test_case "campaign invariance" `Quick
+            test_prop_campaign_invariance;
+          Alcotest.test_case "pfd_dist invariance" `Quick
+            test_prop_pfd_dist_invariance;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "shrinking and replay" `Quick test_harness_shrinks;
+        ] );
+      ( "estimators",
+        [
+          Alcotest.test_case "dispersion ~ 1 for common PFD" `Quick
+            test_dispersion_common_pfd;
+          Alcotest.test_case "method of moments vs oracle" `Quick
+            test_moments_match_oracle;
+          Alcotest.test_case "fleet reproducible" `Quick test_fleet_reproducible;
+        ] );
+    ]

@@ -5,9 +5,13 @@
    gate. Checks: the file parses as JSON, carries the divrel-bench/2
    schema marker, a seed, a git_rev, and a non-empty kernels array whose
    entries each have a name, numeric-or-null ns_per_run / r_square, a
-   sample count and a positive domain count; the parallel-estimate
-   kernel pair must be present. Exit codes: 0 ok, 1 structurally
-   invalid, 2 unreadable or unparseable. *)
+   sample count and a positive domain count; the parallel-estimate and
+   fleet-observe kernel pairs must be present. On a full-mode artefact
+   (mode = "full", i.e. real timings, not the --smoke structural pass)
+   the required kernels must additionally publish an OLS fit with
+   r_square >= 0.9 — the repo's floor for a timing it is willing to
+   stand behind. Exit codes: 0 ok, 1 structurally invalid, 2 unreadable
+   or unparseable. *)
 
 let fail code msg =
   prerr_endline ("benchcheck: " ^ msg);
@@ -50,8 +54,18 @@ let check_kernel i k =
   name
 
 (* Kernels whose presence the gate insists on: the determinism
-   demonstrator pair (same computation on 1 vs 4 domains). *)
-let required_kernels = [ "mc-estimate-parallel/1dom"; "mc-estimate-parallel/4dom" ]
+   demonstrator pairs (same computation on 1 vs 4 domains). *)
+let required_kernels =
+  [
+    "mc-estimate-parallel/1dom";
+    "mc-estimate-parallel/4dom";
+    "fleet-observe-parallel/1dom";
+    "fleet-observe-parallel/4dom";
+  ]
+
+(* Minimum OLS fit quality a full-mode artefact may publish for the
+   required kernels (matches bench/main.ml's target_r_square). *)
+let min_r_square = 0.9
 
 let () =
   let path =
@@ -86,5 +100,32 @@ let () =
     (fun k ->
       if not (List.mem k names) then fail 1 ("required kernel missing: " ^ k))
     required_kernels;
+  let mode =
+    match Option.bind (Obs.Json.member "mode" json) Obs.Json.to_string with
+    | Some m -> m
+    | None -> "full"  (* older artefacts carry no mode: treat as real timings *)
+  in
+  if mode = "full" then
+    List.iter
+      (fun required ->
+        let kernel =
+          List.find_opt
+            (fun k ->
+              Option.bind (Obs.Json.member "name" k) Obs.Json.to_string
+              = Some required)
+            kernels
+        in
+        let r2 =
+          Option.bind kernel (fun k ->
+              Option.bind (Obs.Json.member "r_square" k) Obs.Json.to_float)
+        in
+        match r2 with
+        | None -> fail 1 (required ^ ": full-mode artefact has no r_square")
+        | Some r2 when r2 < min_r_square ->
+            fail 1
+              (Printf.sprintf "%s: r_square %.4f below the %.1f floor" required
+                 r2 min_r_square)
+        | Some _ -> ())
+      required_kernels;
   Printf.printf "benchcheck: %s ok (%d kernels, schema divrel-bench/2)\n" path
     (List.length kernels)
