@@ -1,4 +1,4 @@
-.PHONY: all build lint test check bench-json clean
+.PHONY: all build lint test check prop diff bench-json clean
 
 all: build
 
@@ -30,7 +30,23 @@ check:
 	dune build
 	DIVREL_DOMAINS=1 PROP_SEED=$(PROP_SEED) dune runtest --force
 	DIVREL_DOMAINS=2 PROP_SEED=$(PROP_SEED) dune runtest --force
+	DIVREL_DOMAINS=2 PROP_SEED=271828 dune exec test/test_diff.exe
+	DIVREL_DOMAINS=2 PROP_SEED=314159 dune exec test/test_diff.exe
 	dune build @bench-smoke
+
+# Replay/explore the property suites on a chosen case stream:
+#   make prop PROP_SEED=1234
+# runs both Prop-based binaries (the harness properties and the
+# differential oracle suite) with that base seed; empty means the
+# built-in default (0x5eed_cafe).
+prop:
+	PROP_SEED=$(PROP_SEED) dune exec test/test_prop.exe
+	PROP_SEED=$(PROP_SEED) dune exec test/test_diff.exe
+
+# Just the differential oracle suite (analytic formulas vs simulation),
+# same PROP_SEED replay contract as `make prop`.
+diff:
+	PROP_SEED=$(PROP_SEED) dune exec test/test_diff.exe
 
 clean:
 	dune clean

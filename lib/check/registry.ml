@@ -1,0 +1,517 @@
+open Numerics
+
+(* Each oracle below pairs one analytic quantity (closed form on the
+   universe) with an independent estimate of the same quantity —
+   Monte Carlo over the abstract development model, full-stack concrete
+   simulation over the demand space, or a second closed-form derivation —
+   and the comparator appropriate to how the two sides were computed.
+   See DESIGN.md "Cross-check matrix" for the full table. *)
+
+let mk ~oracle ~quantity ~analytic ~simulated verdict =
+  { Oracle.oracle; quantity; analytic; simulated; verdict }
+
+(* ---- eqs. 1-3, 10 vs the sharded Monte Carlo harness ---- *)
+
+let moments_vs_montecarlo =
+  let id = "moments-vs-montecarlo" in
+  Oracle.make ~id
+    ~description:
+      "mu1/mu2 (eq. 1), P(N1>0)/P(N2>0) and the eq. 10 risk ratio vs \
+       Simulator.Montecarlo.estimate"
+    (fun s ->
+      let u = Scenario.universe s in
+      let r = Scenario.replications s in
+      let bound = Core.Universe.total_q u in
+      let est =
+        Simulator.Montecarlo.estimate (Oracle.rng s ~salt:1) u ~replications:r
+      in
+      let n1 = Sim.count_positive est.Simulator.Montecarlo.theta1_samples in
+      let n2 = Sim.count_positive est.theta2_samples in
+      let mu1 = Core.Moments.mu1 u and mu2 = Core.Moments.mu2 u in
+      let p1 = Core.Fault_count.p_n1_pos u in
+      let p2 = Core.Fault_count.p_n2_pos u in
+      let rr = Core.Fault_count.risk_ratio u in
+      [
+        mk ~oracle:id ~quantity:"mu1 (eq. 1)" ~analytic:mu1
+          ~simulated:est.theta1.mean
+          (Compare.mean_z ~bound ~expected:mu1 ~sigma:(Core.Moments.sigma1 u)
+             ~trials:r ~mean:est.theta1.mean ());
+        mk ~oracle:id ~quantity:"mu2 (eq. 1)" ~analytic:mu2
+          ~simulated:est.theta2.mean
+          (Compare.mean_z ~bound ~expected:mu2 ~sigma:(Core.Moments.sigma2 u)
+             ~trials:r ~mean:est.theta2.mean ());
+        mk ~oracle:id ~quantity:"P(N1>0)" ~analytic:p1 ~simulated:est.p_n1_pos
+          (Compare.wilson ~expected:p1 ~successes:n1 ~trials:r ());
+        mk ~oracle:id ~quantity:"P(N2>0)" ~analytic:p2 ~simulated:est.p_n2_pos
+          (Compare.wilson ~expected:p2 ~successes:n2 ~trials:r ());
+        mk ~oracle:id ~quantity:"risk ratio (eq. 10)" ~analytic:rr
+          ~simulated:est.risk_ratio
+          (Compare.ratio_wilson ~expected:rr ~num:n2 ~den:n1 ~trials:r ());
+      ])
+
+(* ---- Voting closed forms vs the abstract N-of-M sampler ---- *)
+
+let voting_mu_vs_sim =
+  let id = "voting-mu-vs-sim" in
+  Oracle.make ~id
+    ~description:
+      "Voting.mu (binomial defeat probabilities) vs abstract N-of-M \
+       development sampling, z-tested against Voting.sigma"
+    (fun s ->
+      let u = Scenario.universe s and arch = Scenario.arch s in
+      let r = Scenario.replications s in
+      let run = Sim.voted (Oracle.rng s ~salt:2) u ~arch ~replications:r in
+      let mu = Core.Voting.mu arch u in
+      let mean = Stats.mean run.Sim.pfds in
+      [
+        mk ~oracle:id ~quantity:"Voting.mu" ~analytic:mu ~simulated:mean
+          (Compare.mean_z
+             ~bound:(Core.Universe.total_q u)
+             ~expected:mu
+             ~sigma:(Core.Voting.sigma arch u)
+             ~trials:r ~mean ());
+      ])
+
+let voting_events_vs_sim =
+  let id = "voting-events-vs-sim" in
+  Oracle.make ~id
+    ~description:
+      "Voting.p_some_system_fault and risk_ratio_vs_single (eq. 10 \
+       generalised) vs abstract N-of-M sampling"
+    (fun s ->
+      let u = Scenario.universe s and arch = Scenario.arch s in
+      let r = Scenario.replications s in
+      let run = Sim.voted (Oracle.rng s ~salt:3) u ~arch ~replications:r in
+      let p_some = Core.Voting.p_some_system_fault arch u in
+      let rr = Core.Voting.risk_ratio_vs_single arch u in
+      let sim_p = float_of_int run.Sim.system_faulty /. float_of_int r in
+      let sim_rr =
+        if run.Sim.single_faulty = 0 then nan
+        else
+          float_of_int run.Sim.system_faulty
+          /. float_of_int run.Sim.single_faulty
+      in
+      [
+        mk ~oracle:id ~quantity:"p_some_system_fault" ~analytic:p_some
+          ~simulated:sim_p
+          (Compare.wilson ~expected:p_some ~successes:run.Sim.system_faulty
+             ~trials:r ());
+        mk ~oracle:id ~quantity:"risk_ratio_vs_single" ~analytic:rr
+          ~simulated:sim_rr
+          (Compare.ratio_wilson ~expected:rr ~num:run.Sim.system_faulty
+             ~den:run.Sim.single_faulty ~trials:r ());
+      ])
+
+let voting_dist_vs_closed_form =
+  let id = "voting-dist-vs-closed-form" in
+  Oracle.make ~id
+    ~description:
+      "Voting.pfd_dist exact enumeration vs the direct closed forms \
+       (Voting.mu/var/p_some_system_fault)"
+    (fun s ->
+      let u = Scenario.universe s and arch = Scenario.arch s in
+      let d = Core.Voting.pfd_dist arch u in
+      let mu = Core.Voting.mu arch u in
+      let var = Core.Voting.var arch u in
+      let p_some = Core.Voting.p_some_system_fault arch u in
+      [
+        mk ~oracle:id ~quantity:"mean" ~analytic:mu
+          ~simulated:(Core.Pfd_dist.mean d)
+          (Compare.approx mu (Core.Pfd_dist.mean d));
+        mk ~oracle:id ~quantity:"variance" ~analytic:var
+          ~simulated:(Core.Pfd_dist.variance d)
+          (Compare.approx ~abs:1e-15 var (Core.Pfd_dist.variance d));
+        mk ~oracle:id ~quantity:"P(PFD > 0)" ~analytic:p_some
+          ~simulated:(Core.Pfd_dist.prob_positive d)
+          (Compare.approx p_some (Core.Pfd_dist.prob_positive d));
+      ])
+
+let voting_vs_executable_adjudicator =
+  let id = "voting-vs-executable-adjudicator" in
+  Oracle.make ~id
+    ~description:
+      "Voting.mu vs concretely developed versions behind the executable \
+       Simulator.Adjudicator (full demand-space sweep per replication)"
+    (fun s ->
+      let u = Scenario.universe s and arch = Scenario.arch s in
+      let r = max 60 (Scenario.replications s / 8) in
+      let samples =
+        Sim.concrete_voted_pfds (Oracle.rng s ~salt:5) (Scenario.space s)
+          ~arch ~replications:r
+      in
+      let mu = Core.Voting.mu arch u in
+      let mean = Stats.mean samples in
+      let positive = Sim.count_positive samples in
+      let p_some = Core.Voting.p_some_system_fault arch u in
+      [
+        mk ~oracle:id ~quantity:"system PFD mean" ~analytic:mu ~simulated:mean
+          (Compare.mean_z
+             ~bound:(Core.Universe.total_q u)
+             ~expected:mu
+             ~sigma:(Core.Voting.sigma arch u)
+             ~trials:r ~mean ());
+        mk ~oracle:id ~quantity:"P(system has a defeating fault)"
+          ~analytic:p_some
+          ~simulated:(float_of_int positive /. float_of_int r)
+          (Compare.wilson ~expected:p_some ~successes:positive ~trials:r ());
+      ])
+
+(* ---- Pfd_dist: exact vs grid vs sampling ---- *)
+
+let pfd_exact_vs_grid =
+  let id = "pfd-exact-vs-grid" in
+  Oracle.make ~id
+    ~description:
+      "Pfd_dist exact enumeration vs the grid convolution (support \
+       displacement bounded by n*step/2)"
+    (fun s ->
+      let u = Scenario.universe s in
+      let bins = 4096 in
+      let n = float_of_int (Core.Universe.size u) in
+      let step = Core.Universe.total_q u /. float_of_int (bins - 1) in
+      let tol = (n *. step /. 2.0) +. 1e-12 in
+      let exact1 = Core.Pfd_dist.exact_single u in
+      let grid1 = Core.Pfd_dist.grid_single u ~bins in
+      let exact2 = Core.Pfd_dist.exact_pair u in
+      let grid2 = Core.Pfd_dist.grid_pair u ~bins in
+      [
+        mk ~oracle:id ~quantity:"Theta_1 mean"
+          ~analytic:(Core.Pfd_dist.mean exact1)
+          ~simulated:(Core.Pfd_dist.mean grid1)
+          (Compare.approx ~abs:tol ~rel:0.0 (Core.Pfd_dist.mean exact1)
+             (Core.Pfd_dist.mean grid1));
+        mk ~oracle:id ~quantity:"Theta_2 mean"
+          ~analytic:(Core.Pfd_dist.mean exact2)
+          ~simulated:(Core.Pfd_dist.mean grid2)
+          (Compare.approx ~abs:tol ~rel:0.0 (Core.Pfd_dist.mean exact2)
+             (Core.Pfd_dist.mean grid2));
+        mk ~oracle:id ~quantity:"P(Theta_1 > 0)"
+          ~analytic:(Core.Pfd_dist.prob_positive exact1)
+          ~simulated:(Core.Pfd_dist.prob_positive grid1)
+          (Compare.approx
+             (Core.Pfd_dist.prob_positive exact1)
+             (Core.Pfd_dist.prob_positive grid1));
+      ])
+
+let pfd_exact_vs_sampling =
+  let id = "pfd-exact-vs-sampling" in
+  Oracle.make ~id
+    ~description:
+      "Pfd_dist exact CDF/quantile machinery vs inverse-transform sampling \
+       from the same distribution"
+    (fun s ->
+      let u = Scenario.universe s in
+      let r = Scenario.replications s in
+      let d = Core.Pfd_dist.exact_single u in
+      let rng = Oracle.rng s ~salt:7 in
+      let samples = Array.init r (fun _ -> Core.Pfd_dist.sample d rng) in
+      let mean = Stats.mean samples in
+      let positive = Sim.count_positive samples in
+      let p_pos = Core.Pfd_dist.prob_positive d in
+      [
+        mk ~oracle:id ~quantity:"mean" ~analytic:(Core.Pfd_dist.mean d)
+          ~simulated:mean
+          (Compare.mean_z
+             ~bound:(Core.Universe.total_q u)
+             ~expected:(Core.Pfd_dist.mean d)
+             ~sigma:(Core.Pfd_dist.std d) ~trials:r ~mean ());
+        mk ~oracle:id ~quantity:"P(X > 0)" ~analytic:p_pos
+          ~simulated:(float_of_int positive /. float_of_int r)
+          (Compare.wilson ~expected:p_pos ~successes:positive ~trials:r ());
+      ])
+
+(* ---- baselines in their exact / degenerate regimes ---- *)
+
+let eckhardt_lee_identities =
+  let id = "eckhardt-lee-identities" in
+  Oracle.make ~id
+    ~description:
+      "Eckhardt-Lee difficulty-function means over the demand space vs the \
+       universe closed forms (exact on disjoint regions), plus the EL \
+       decomposition residual"
+    (fun s ->
+      let u = Scenario.universe s and sp = Scenario.space s in
+      let mu1 = Core.Moments.mu1 u and mu2 = Core.Moments.mu2 u in
+      let el1 = Baselines.Eckhardt_lee.mean_single sp in
+      let el2 = Baselines.Eckhardt_lee.mean_pair sp in
+      let gap = Baselines.Eckhardt_lee.el_identity_gap sp in
+      [
+        mk ~oracle:id ~quantity:"E(Theta_1)" ~analytic:mu1 ~simulated:el1
+          (Compare.approx mu1 el1);
+        mk ~oracle:id ~quantity:"E(Theta_2)" ~analytic:mu2 ~simulated:el2
+          (Compare.approx mu2 el2);
+        mk ~oracle:id ~quantity:"EL decomposition residual" ~analytic:0.0
+          ~simulated:gap
+          (Compare.approx ~abs:1e-9 0.0 gap);
+      ])
+
+let eckhardt_lee_vs_concrete =
+  let id = "eckhardt-lee-vs-concrete" in
+  Oracle.make ~id
+    ~description:
+      "EL mean single/pair PFD vs concretely developed versions (true \
+       set-intersection PFDs, no non-overlap shortcut on the simulation \
+       side)"
+    (fun s ->
+      let u = Scenario.universe s in
+      let r = max 200 (Scenario.replications s / 3) in
+      let singles, pairs =
+        Sim.concrete_pairs (Oracle.rng s ~salt:9) (Scenario.space s)
+          ~replications:r
+      in
+      let bound = Core.Universe.total_q u in
+      let el1 = Baselines.Eckhardt_lee.mean_single (Scenario.space s) in
+      let el2 = Baselines.Eckhardt_lee.mean_pair (Scenario.space s) in
+      let m1 = Stats.mean singles and m2 = Stats.mean pairs in
+      [
+        mk ~oracle:id ~quantity:"mean single PFD" ~analytic:el1 ~simulated:m1
+          (Compare.mean_z ~bound ~expected:el1
+             ~sigma:(Core.Moments.sigma1 u) ~trials:r ~mean:m1 ());
+        mk ~oracle:id ~quantity:"mean pair PFD" ~analytic:el2 ~simulated:m2
+          (Compare.mean_z ~bound ~expected:el2
+             ~sigma:(Core.Moments.sigma2 u) ~trials:r ~mean:m2 ());
+      ])
+
+let littlewood_miller_degenerate =
+  let id = "littlewood-miller-degenerate" in
+  Oracle.make ~id
+    ~description:
+      "Littlewood-Miller with identical processes must reduce exactly to \
+       Eckhardt-Lee (degenerate regime used as an algebraic oracle)"
+    (fun s ->
+      let sp = Scenario.space s in
+      let lm = Baselines.Littlewood_miller.same_process sp in
+      let el2 = Baselines.Eckhardt_lee.mean_pair sp in
+      let lm2 = Baselines.Littlewood_miller.mean_pair lm in
+      let cov = Baselines.Littlewood_miller.difficulty_covariance lm in
+      let var = Baselines.Eckhardt_lee.difficulty_variance sp in
+      let gap = Baselines.Littlewood_miller.lm_identity_gap lm in
+      [
+        mk ~oracle:id ~quantity:"E(Theta_2)" ~analytic:el2 ~simulated:lm2
+          (Compare.approx el2 lm2);
+        mk ~oracle:id ~quantity:"Cov(theta_A, theta_B) = Var(theta)"
+          ~analytic:var ~simulated:cov
+          (Compare.approx ~abs:1e-12 var cov);
+        mk ~oracle:id ~quantity:"LM decomposition residual" ~analytic:0.0
+          ~simulated:gap
+          (Compare.approx ~abs:1e-9 0.0 gap);
+      ])
+
+let independence_degenerate =
+  let id = "independence-degenerate" in
+  Oracle.make ~id
+    ~description:
+      "Failure independence is exact iff the difficulty function is \
+       constant: checked on a constant-difficulty space, plus the EL-style \
+       penalty bound on the scenario universe"
+    (fun s ->
+      let u = Scenario.universe s in
+      (* constant-difficulty construction: partition the whole demand
+         space into one region per fault, all sharing one introduction
+         probability, so theta(x) = p0 everywhere *)
+      let size = Demandspace.Space.size (Scenario.space s) in
+      let k = Demandspace.Space.fault_count (Scenario.space s) in
+      let p0 = Core.Fault.p (Core.Universe.fault u 0) in
+      let block = size / k in
+      let faults =
+        Array.init k (fun i ->
+            let lo = block * i in
+            let hi = if i = k - 1 then size - 1 else lo + block - 1 in
+            (Demandspace.Region.interval ~space_size:size ~lo ~hi, p0))
+      in
+      let flat =
+        Demandspace.Space.create
+          ~profile:(Demandspace.Profile.uniform ~size)
+          ~faults
+      in
+      let el1 = Baselines.Eckhardt_lee.mean_single flat in
+      let el2 = Baselines.Eckhardt_lee.mean_pair flat in
+      let indep = Baselines.Independence.pair_pfd ~single_pfd:el1 in
+      let uf = Baselines.Independence.underestimation_factor u in
+      [
+        mk ~oracle:id ~quantity:"constant difficulty: E(Theta_2) = E(Theta_1)^2"
+          ~analytic:indep ~simulated:el2
+          (Compare.approx indep el2);
+        mk ~oracle:id ~quantity:"mu2/mu1^2 >= 1 (EL penalty)" ~analytic:1.0
+          ~simulated:uf
+          {
+            Compare.pass = uf >= 1.0 -. 1e-12;
+            comparator = "lower-bound";
+            detail = Printf.sprintf "underestimation factor %.6g >= 1" uf;
+          };
+      ])
+
+let correlated_degenerate =
+  let id = "correlated-degenerate" in
+  Oracle.make ~id
+    ~description:
+      "Correlated fault introduction at lift 1 (zero shock effect) must \
+       reproduce the independent closed forms exactly, and its pair sampler \
+       must agree with mu2"
+    (fun s ->
+      let u = Scenario.universe s in
+      let c =
+        Extensions.Correlated.of_universe_with_shock u ~cluster_size:2
+          ~shock_prob:0.3 ~lift:1.0
+      in
+      let mu1 = Core.Moments.mu1 u and mu2 = Core.Moments.mu2 u in
+      let rr = Core.Fault_count.risk_ratio u in
+      let r = max 300 (Scenario.replications s / 2) in
+      let rng = Oracle.rng s ~salt:12 in
+      let pair_samples =
+        Array.init r (fun _ ->
+            let _, pair = Extensions.Correlated.sample_pair_pfd rng c in
+            pair)
+      in
+      let mean = Stats.mean pair_samples in
+      [
+        mk ~oracle:id ~quantity:"mu1" ~analytic:mu1
+          ~simulated:(Extensions.Correlated.mu1 c)
+          (Compare.approx mu1 (Extensions.Correlated.mu1 c));
+        mk ~oracle:id ~quantity:"mu2" ~analytic:mu2
+          ~simulated:(Extensions.Correlated.mu2 c)
+          (Compare.approx mu2 (Extensions.Correlated.mu2 c));
+        mk ~oracle:id ~quantity:"risk ratio (eq. 10)" ~analytic:rr
+          ~simulated:(Extensions.Correlated.risk_ratio c)
+          (Compare.approx rr (Extensions.Correlated.risk_ratio c));
+        mk ~oracle:id ~quantity:"sampled pair PFD mean" ~analytic:mu2
+          ~simulated:mean
+          (Compare.mean_z
+             ~bound:(Core.Universe.total_q u)
+             ~expected:mu2
+             ~sigma:(Core.Moments.sigma2 u)
+             ~trials:r ~mean ());
+      ])
+
+(* ---- the sharded fleet pipeline vs the moments ---- *)
+
+let fleet_vs_moments =
+  let id = "fleet-vs-moments" in
+  Oracle.make ~id
+    ~description:
+      "Sharded fleet pipeline: deployed 1oo2 systems' true PFDs vs mu2, and \
+       observed field failure counts vs the deployed fleet's own true PFDs"
+    (fun s ->
+      let u = Scenario.universe s in
+      let plants = 48 and demands_per_plant = 400 in
+      let rng = Oracle.rng s ~salt:13 in
+      let systems =
+        Simulator.Fleet.deploy_pairs rng (Scenario.space s) ~plants
+      in
+      let fleet = Simulator.Fleet.observe rng systems ~demands_per_plant in
+      let summary = Simulator.Fleet.true_pfd_summary fleet in
+      let mu2 = Core.Moments.mu2 u in
+      let pooled = Simulator.Fleet.pooled_rate fleet in
+      let trials = plants * demands_per_plant in
+      [
+        mk ~oracle:id ~quantity:"deployed true-PFD mean vs mu2" ~analytic:mu2
+          ~simulated:summary.mean
+          (Compare.mean_z
+             ~bound:(Core.Universe.total_q u)
+             ~expected:mu2
+             ~sigma:(Core.Moments.sigma2 u)
+             ~trials:plants ~mean:summary.mean ());
+        (* conditional on the deployed PFDs, per-demand failures are
+           independent (heterogeneous) Bernoullis, for which the Wilson
+           interval around the pooled count is conservative *)
+        mk ~oracle:id ~quantity:"observed failure rate vs deployed PFDs"
+          ~analytic:summary.mean ~simulated:pooled
+          (Compare.wilson ~expected:summary.mean
+             ~successes:(Simulator.Fleet.total_failures fleet)
+             ~trials ());
+      ])
+
+let all =
+  [
+    moments_vs_montecarlo;
+    voting_mu_vs_sim;
+    voting_events_vs_sim;
+    voting_dist_vs_closed_form;
+    voting_vs_executable_adjudicator;
+    pfd_exact_vs_grid;
+    pfd_exact_vs_sampling;
+    eckhardt_lee_identities;
+    eckhardt_lee_vs_concrete;
+    littlewood_miller_degenerate;
+    independence_degenerate;
+    correlated_degenerate;
+    fleet_vs_moments;
+  ]
+
+let ids () = List.map Oracle.id all
+
+let find id =
+  List.find_opt (fun o -> String.equal (Oracle.id o) id) all
+
+let run_all scenario =
+  List.concat_map (fun o -> Oracle.run o scenario) all
+
+let failures outcomes = List.filter (fun o -> not (Oracle.passed o)) outcomes
+
+(* ---- full sweep over generated scenarios (the CLI `check` verb) ---- *)
+
+type sweep = {
+  cases : int;
+  checks : int;
+  failed : (int * Scenario.t * Oracle.outcome) list;
+  per_oracle : (string * int * int) list;  (* id, checks, failures *)
+}
+
+let sweep ?max_channels ?max_faults ?replications ~seed ~cases () =
+  if cases < 1 then invalid_arg "Registry.sweep: cases must be >= 1";
+  let parent = Rng.create ~seed in
+  let tally = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace tally id (0, 0)) (ids ());
+  let checks = ref 0 in
+  let failed = ref [] in
+  for case = 0 to cases - 1 do
+    let scenario =
+      Scenario.generate ?max_channels ?max_faults ?replications
+        (Rng.split parent ~index:case)
+    in
+    List.iter
+      (fun o ->
+        let n, f =
+          match Hashtbl.find_opt tally o.Oracle.oracle with
+          | Some t -> t
+          | None -> (0, 0)
+        in
+        let bad = if Oracle.passed o then 0 else 1 in
+        Hashtbl.replace tally o.Oracle.oracle (n + 1, f + bad);
+        incr checks;
+        if bad = 1 then failed := (case, scenario, o) :: !failed)
+      (run_all scenario)
+  done;
+  let per_oracle =
+    List.map
+      (fun id ->
+        match Hashtbl.find_opt tally id with
+        | Some (n, f) -> (id, n, f)
+        | None -> (id, 0, 0))
+      (ids ())
+  in
+  { cases; checks = !checks; failed = List.rev !failed; per_oracle }
+
+let passed sweep = sweep.failed = []
+
+let render sweep =
+  let table =
+    Report.Table.of_rows ~title:"Differential cross-check sweep"
+      ~headers:[ "oracle"; "checks"; "failures" ]
+      (List.map
+         (fun (id, n, f) ->
+           [ id; Report.Table.int n; Report.Table.int f ])
+         sweep.per_oracle)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Report.Table.render table);
+  Buffer.add_string buf
+    (Printf.sprintf "\n%d scenarios, %d checks, %d failures\n" sweep.cases
+       sweep.checks (List.length sweep.failed));
+  List.iter
+    (fun (case, scenario, o) ->
+      Buffer.add_string buf
+        (Fmt.str "case %d: %a@\n  %a@\n" case Scenario.pp scenario
+           Oracle.pp_outcome o))
+    sweep.failed;
+  Buffer.contents buf

@@ -285,27 +285,38 @@ let grid_of_vectors ?pool ?shards ~probs ~values ~bins () =
   if shards < 1 then invalid_arg "Pfd_dist.grid_of_vectors: shards must be >= 1";
   let total = Kahan.sum_array values in
   let step = if total > 0.0 then total /. float_of_int (bins - 1) else 1.0 in
-  let cur = ref (Array.make bins 0.0) in
+  (* Rounding each q_i to the nearest grid multiple can round *up* by as
+     much as half a step, so the all-faults subset can land up to n/2
+     bins above bins - 1. Size the dense array for that true top: a
+     clamped array would silently drop the topmost mass and of_mass's
+     normalisation would then smear the loss over the whole support,
+     biasing the mean far beyond the n*step/2 displacement bound (caught
+     by the pfd-exact-vs-grid differential oracle). *)
+  let shifts =
+    Array.init n (fun i ->
+        if probs.(i) > 0.0 then int_of_float (Float.round (values.(i) /. step))
+        else 0)
+  in
+  let len = max bins (1 + Array.fold_left ( + ) 0 shifts) in
+  let cur = ref (Array.make len 0.0) in
   (* Spare buffer for the sharded path; stale entries are harmless: a
      sharded round overwrites [0, new_top] entirely, and indices above
      any round's new_top have never been written (tops only grow), so
      they still hold the initial zeros the mass invariant requires. *)
-  let spare = ref (Array.make bins 0.0) in
+  let spare = ref (Array.make len 0.0) in
   !cur.(0) <- 1.0;
   let top = ref 0 in
   for i = 0 to n - 1 do
     let p = probs.(i) in
     if p > 0.0 then begin
-      let shift =
-        int_of_float (Float.round (values.(i) /. step))
-      in
+      let shift = shifts.(i) in
       if shift = 0 then begin
         (* region too small for the grid: fold its mass into "no change";
            the caller can check the induced mean error via [mean]. *)
         ()
       end
       else begin
-        let new_top = min (bins - 1) (!top + shift) in
+        let new_top = !top + shift in
         if shards > 1 && new_top + 1 >= grid_parallel_min_bins then begin
           let src = !cur and dst = !spare in
           let bounds = Exec.shard_bounds ~range:(new_top + 1) ~shards in
@@ -338,7 +349,7 @@ let grid_of_vectors ?pool ?shards ~probs ~values ~bins () =
   done;
   let dist = !cur in
   let pairs = ref [] in
-  for j = bins - 1 downto 0 do
+  for j = !top downto 0 do
     if dist.(j) > 0.0 then pairs := (float_of_int j *. step, dist.(j)) :: !pairs
   done;
   of_mass !pairs

@@ -82,8 +82,9 @@ val grid_of_vectors :
   unit ->
   t
 (** Grid convolution: every region measure is rounded to a multiple of
-    total_q/(bins-1); the support displacement is at most n*step/2.
-    Handles thousands of faults. Large grids (>= 32768 active bins)
+    total_q/(bins-1); the support displacement is at most n*step/2 (the
+    support can therefore extend slightly beyond total_q — no mass is
+    ever clamped to the top bin). Handles thousands of faults. Large grids (>= 32768 active bins)
     shard each fault's dense update across the pool; sharded and
     sequential paths compute bit-identical values, so the result never
     depends on shards or domain count. *)

@@ -154,6 +154,101 @@ let space ?(max_size = 160) ?(max_faults = 5) () =
         ~profile:(Demandspace.Profile.uniform ~size)
         ~faults)
 
+(* ---- differential-oracle generators (lib/check) ---- *)
+
+let arch_eq a b =
+  Core.Voting.channels a = Core.Voting.channels b
+  && Core.Voting.required a = Core.Voting.required b
+
+(* Random N-of-M architectures (including the paper's 1-out-of-2 and
+   2-out-of-3 as ordinary draws). Shrinking proposes the paper's
+   1-out-of-2 first, then single-step reductions of N and M, so a
+   failing architecture property lands on the smallest voted system that
+   still fails — ideally the configuration the paper analyses. *)
+let voting_arch ?(max_channels = 4) () =
+  if max_channels < 1 then
+    invalid_arg "Prop.voting_arch: max_channels must be >= 1";
+  make
+    ~shrink:(fun arch ->
+      if arch_eq arch Core.Voting.one_out_of_two then Seq.empty
+      else
+        let channels = Core.Voting.channels arch in
+        let required = Core.Voting.required arch in
+        List.to_seq
+          ([ Core.Voting.one_out_of_two ]
+          @ (if channels > 1 then
+               [
+                 Core.Voting.create ~channels:(channels - 1)
+                   ~required:(min required (channels - 1));
+               ]
+             else [])
+          @
+          if required > 1 then
+            [ Core.Voting.create ~channels ~required:(required - 1) ]
+          else [])
+        |> Seq.filter (fun c -> not (arch_eq c arch)))
+    ~pp:Core.Voting.pp
+    (fun rng ->
+      let channels = 1 + Numerics.Rng.int rng max_channels in
+      let required = 1 + Numerics.Rng.int rng channels in
+      Core.Voting.create ~channels ~required)
+
+(* Adjudicator configurations, shrinking toward the paper's OR
+   adjudicator (required = 1), consistent with {!voting_arch}'s
+   1-out-of-2 target. *)
+let adjudicator ?(max_required = 4) () =
+  if max_required < 1 then
+    invalid_arg "Prop.adjudicator: max_required must be >= 1";
+  make
+    ~shrink:(fun adj ->
+      shrink_int_toward 1 (Simulator.Adjudicator.required adj)
+      |> Seq.map (fun required -> Simulator.Adjudicator.m_out_of_n ~required))
+    ~pp:Simulator.Adjudicator.pp
+    (fun rng ->
+      Simulator.Adjudicator.m_out_of_n
+        ~required:(1 + Numerics.Rng.int rng max_required))
+
+(* Paired universe/demand-space scenario for the differential oracle
+   registry: regions disjoint by construction, so the universe
+   abstraction is exact. Shrinks the architecture toward 1-out-of-2
+   first, then drops trailing faults (a subset of disjoint regions stays
+   disjoint), rebuilding through [Check.Scenario.create] so every shrunk
+   candidate is still a valid scenario. *)
+let scenario ?max_channels ?max_faults ?replications () =
+  let arch_gen = voting_arch ?max_channels () in
+  let drop_faults s k =
+    let sp = Check.Scenario.space s in
+    let faults =
+      Array.init k (fun i ->
+          ( Demandspace.Space.region sp i,
+            Demandspace.Space.introduction_prob sp i ))
+    in
+    Check.Scenario.create
+      ~arch:(Check.Scenario.arch s)
+      ~space:
+        (Demandspace.Space.create
+           ~profile:(Demandspace.Space.profile sp)
+           ~faults)
+      ~sim_seed:(Check.Scenario.sim_seed s)
+      ~replications:(Check.Scenario.replications s)
+  in
+  make
+    ~shrink:(fun s ->
+      let with_arch arch =
+        Check.Scenario.create ~arch
+          ~space:(Check.Scenario.space s)
+          ~sim_seed:(Check.Scenario.sim_seed s)
+          ~replications:(Check.Scenario.replications s)
+      in
+      let n = Demandspace.Space.fault_count (Check.Scenario.space s) in
+      Seq.append
+        (Seq.map with_arch (arch_gen.shrink (Check.Scenario.arch s)))
+        (List.to_seq [ (n + 1) / 2; n - 1 ]
+        |> Seq.filter (fun k -> k >= 1 && k < n)
+        |> Seq.map (drop_faults s)))
+    ~pp:Check.Scenario.pp
+    (fun rng -> Check.Scenario.generate ?max_channels ?max_faults ?replications rng)
+
 (* ---- runner ---- *)
 
 let run_case f value =

@@ -10,8 +10,10 @@
    (mode = "full", i.e. real timings, not the --smoke structural pass)
    the required kernels must additionally publish an OLS fit with
    r_square >= 0.9 — the repo's floor for a timing it is willing to
-   stand behind. Exit codes: 0 ok, 1 structurally invalid, 2 unreadable
-   or unparseable. *)
+   stand behind — and the artefact's git_rev must match the current
+   HEAD (GIT_REV env or `git rev-parse`), so stale timings are never
+   re-blessed at a different commit. Exit codes: 0 ok, 1 structurally
+   invalid, 2 unreadable or unparseable. *)
 
 let fail code msg =
   prerr_endline ("benchcheck: " ^ msg);
@@ -67,6 +69,36 @@ let required_kernels =
    required kernels (matches bench/main.ml's target_r_square). *)
 let min_r_square = 0.9
 
+(* In full mode the artefact's git_rev must describe the code that was
+   actually benchmarked: validating a stale BENCH_kernels.json at a
+   different HEAD would bless timings for code that no longer exists.
+   HEAD comes from the GIT_REV environment variable when set (the
+   bench-json target exports it) or from git itself; with neither
+   available (e.g. a tarball checkout) the check is skipped with a
+   note. Prefix matching tolerates short-vs-long rev spellings. *)
+let head_rev () =
+  match Sys.getenv_opt "GIT_REV" with
+  | Some r when String.trim r <> "" -> Some (String.trim r)
+  | _ -> (
+      match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+      | exception _ -> None
+      | ic ->
+          let line =
+            match input_line ic with
+            | l -> Some (String.trim l)
+            | exception End_of_file -> None
+          in
+          (match Unix.close_process_in ic with
+          | Unix.WEXITED 0 -> (
+              match line with Some l when l <> "" -> Some l | _ -> None)
+          | _ -> None
+          | exception _ -> None))
+
+let revs_match a b =
+  let a = String.trim a and b = String.trim b in
+  a <> "" && b <> ""
+  && (String.starts_with ~prefix:a b || String.starts_with ~prefix:b a)
+
 let () =
   let path =
     if Array.length Sys.argv > 1 then Sys.argv.(1)
@@ -88,9 +120,10 @@ let () =
   if schema <> "divrel-bench/2" then
     fail 1 (Printf.sprintf "unexpected schema %S (want divrel-bench/2)" schema);
   ignore (require "seed" (Option.bind (Obs.Json.member "seed" json) Obs.Json.to_int));
-  ignore
-    (require "git_rev"
-       (Option.bind (Obs.Json.member "git_rev" json) Obs.Json.to_string));
+  let artefact_rev =
+    require "git_rev"
+      (Option.bind (Obs.Json.member "git_rev" json) Obs.Json.to_string)
+  in
   let kernels =
     require "kernels" (Option.bind (Obs.Json.member "kernels" json) Obs.Json.to_list)
   in
@@ -105,7 +138,18 @@ let () =
     | Some m -> m
     | None -> "full"  (* older artefacts carry no mode: treat as real timings *)
   in
-  if mode = "full" then
+  if mode = "full" then begin
+    (match head_rev () with
+    | None ->
+        print_endline
+          "benchcheck: note: HEAD revision unavailable, skipping git_rev match"
+    | Some head ->
+        if not (revs_match artefact_rev head) then
+          fail 1
+            (Printf.sprintf
+               "git_rev %S does not match HEAD %S: regenerate full-mode \
+                timings at the current commit (make bench-json)"
+               artefact_rev head));
     List.iter
       (fun required ->
         let kernel =
@@ -126,6 +170,7 @@ let () =
               (Printf.sprintf "%s: r_square %.4f below the %.1f floor" required
                  r2 min_r_square)
         | Some _ -> ())
-      required_kernels;
+      required_kernels
+  end;
   Printf.printf "benchcheck: %s ok (%d kernels, schema divrel-bench/2)\n" path
     (List.length kernels)
