@@ -1,4 +1,4 @@
-.PHONY: all build lint test check prop diff bench-json clean
+.PHONY: all build lint lint-project test check prop diff bench-json clean
 
 all: build
 
@@ -6,7 +6,15 @@ build:
 	dune build
 
 lint:
-	dune build @lint
+	dune build @lint @lint-project
+
+# The whole-project interprocedural pass alone (R9-R11), run directly so
+# its scan-surface summary (files / functions / shard-reachable counts)
+# is always printed — a silently-shrinking scan shows up as a dropped
+# count, not a silently-green gate.
+lint-project:
+	dune build tools/lint/divlint.exe
+	dune exec tools/lint/divlint.exe -- --project
 
 test:
 	dune runtest
@@ -27,6 +35,8 @@ bench-json:
 PROP_SEED ?=
 check:
 	dune build @lint
+	dune build tools/lint/divlint.exe
+	dune exec tools/lint/divlint.exe -- --project
 	dune build
 	DIVREL_DOMAINS=1 PROP_SEED=$(PROP_SEED) dune runtest --force
 	DIVREL_DOMAINS=2 PROP_SEED=$(PROP_SEED) dune runtest --force

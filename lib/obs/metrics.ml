@@ -17,7 +17,7 @@ let enabled = ref false
 let set_enabled b = enabled := b
 let is_enabled () = !enabled
 
-type counter = { c_name : string; count : int Atomic.t } (* divlint: allow domain-containment *)
+type counter = { c_name : string; count : int Atomic.t }
 type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
 
 type histogram = {

@@ -1,11 +1,16 @@
 (* divlint against its fixture corpus: each rule on known-bad and
-   known-clean snippets, rule scoping by path, suppression comments, and
-   the CLI's exit code / JSON output. *)
+   known-clean snippets, rule scoping by path, suppression comments, the
+   project-wide analysis (R9-R11) over its own corpus, and the CLI's exit
+   code / JSON / SARIF output. *)
 
 module E = Divlint_lib.Engine
+module A = Divlint_lib.Analysis
+module J = Obs.Json
 
 let fixtures_dir = "../tools/lint/fixtures"
 let fixture name = Filename.concat fixtures_dir name
+let project_dir = Filename.concat fixtures_dir "project"
+let in_file name (f : E.finding) = Filename.basename f.E.file = name
 
 let lines_of rule findings =
   List.filter_map
@@ -132,6 +137,167 @@ let test_suppressions () =
     (List.map (fun f -> f.E.line) fs);
   check_int "and it is R1" 1 (count E.Float_eq fs)
 
+(* ---- W1: unused suppressions ---- *)
+
+let test_unused_suppression () =
+  let fs = E.lint_file (fixture "unused_suppression.ml") in
+  check_lines "W1 at the stale comment" [ 3 ]
+    (lines_of E.Unused_suppression fs);
+  let silenced = E.lint_file (fixture "suppressed_unused.ml") in
+  check_int "meta-suppression silences the W1" 0 (List.length silenced);
+  (* a project-rule suppression must not be judged stale by the per-file
+     pass — only the project pass can tell whether R9-R11 fire *)
+  let cross = E.lint_file (Filename.concat project_dir "driver.ml") in
+  check_int "cross-mode suppressions left alone" 0
+    (count E.Unused_suppression cross)
+
+(* ---- rule scoping table ---- *)
+
+let test_exemption_table () =
+  let applies = E.rule_applies in
+  Alcotest.(check bool) "R2 exempt in rng.ml" false
+    (applies E.Random_use "lib/numerics/rng.ml");
+  Alcotest.(check bool) "R2 applies elsewhere in lib" true
+    (applies E.Random_use "lib/core/model.ml");
+  Alcotest.(check bool) "R5 exempt under lib/report/" false
+    (applies E.Print_effect "lib/report/tables.ml");
+  Alcotest.(check bool) "R5 lib-only" false (applies E.Print_effect "bench/main.ml");
+  Alcotest.(check bool) "R7 exempt under lib/obs/" false
+    (applies E.Wallclock "lib/obs/clock.ml");
+  Alcotest.(check bool) "R8 exempt under lib/exec/" false
+    (applies E.Domain_containment "lib/exec/pool.ml");
+  Alcotest.(check bool) "R9 exempt under lib/exec/ too" false
+    (applies E.Shared_mutable_escape "lib/exec/pool.ml");
+  Alcotest.(check bool) "R9 applies in lib/obs/" true
+    (applies E.Shared_mutable_escape "lib/obs/trace.ml");
+  Alcotest.(check bool) "R10 applies everywhere" true
+    (applies E.Rng_discipline "test/test_exec.ml");
+  (* the table is the single source of truth: the lib/exec row carries
+     both the domain-containment and shared-mutable exemptions *)
+  let exec_rules = E.exempt_rules "lib/exec/exec.ml" in
+  Alcotest.(check bool) "table row for lib/exec" true
+    (List.mem E.Domain_containment exec_rules
+    && List.mem E.Shared_mutable_escape exec_rules);
+  Alcotest.(check bool) "exact-path row matches only that file" true
+    (E.exempt_rules "lib/numerics/rng.ml" = [ E.Random_use ]
+    && E.exempt_rules "lib/numerics/rng_extra.ml" = [])
+
+(* ---- project analysis: R9 ---- *)
+
+let test_shared_mutable () =
+  let r = A.analyze_paths [ project_dir ] in
+  let r9 =
+    List.filter (fun f -> f.E.rule = E.Shared_mutable_escape) r.A.res_findings
+  in
+  check_int "three unprotected writes" 3 (List.length r9);
+  Alcotest.(check bool) "direct qualified write flagged" true
+    (List.exists (fun f -> in_file "driver.ml" f && f.E.line = 8) r9);
+  Alcotest.(check bool) "cross-module ref write flagged at its site" true
+    (List.exists (fun f -> in_file "store.ml" f && f.E.line = 16) r9);
+  Alcotest.(check bool) "cross-module container write flagged" true
+    (List.exists (fun f -> in_file "store.ml" f && f.E.line = 19) r9);
+  (* the cross-module case is invisible to any single-file pass: the same
+     analysis over store.ml alone sees an ordinary function mutating an
+     ordinary ref and reports nothing *)
+  let alone = A.analyze_paths [ Filename.concat project_dir "store.ml" ] in
+  check_int "store.ml alone is clean" 0 (List.length alone.A.res_findings)
+
+(* ---- project analysis: R10 ---- *)
+
+let test_rng_discipline () =
+  let r = A.analyze_paths [ project_dir ] in
+  let r10 =
+    List.filter (fun f -> f.E.rule = E.Rng_discipline) r.A.res_findings
+  in
+  check_int "two undisciplined draws" 2 (List.length r10);
+  Alcotest.(check bool) "module-level stream draw flagged at its site" true
+    (List.exists (fun f -> in_file "rng_bad.ml" f && f.E.line = 7) r10);
+  Alcotest.(check bool) "captured parent stream flagged" true
+    (List.exists (fun f -> in_file "rng_bad.ml" f && f.E.line = 13) r10);
+  let good = A.analyze_paths [ Filename.concat project_dir "rng_good.ml" ] in
+  check_int "split substreams pass" 0 (List.length good.A.res_findings)
+
+(* ---- project analysis: R11 ---- *)
+
+let test_nondet_merge () =
+  let r = A.analyze_paths [ project_dir ] in
+  let r11 =
+    List.filter (fun f -> f.E.rule = E.Nondet_merge) r.A.res_findings
+  in
+  check_int "two nondeterministic merges" 2 (List.length r11);
+  Alcotest.(check bool) "completion-order accumulator flagged" true
+    (List.exists (fun f -> in_file "merge_bad.ml" f && f.E.line = 5) r11);
+  Alcotest.(check bool) "hash-order merge flagged" true
+    (List.exists (fun f -> in_file "merge_bad.ml" f && f.E.line = 13) r11);
+  let good = A.analyze_paths [ Filename.concat project_dir "merge_good.ml" ] in
+  check_int "index-order merge and slice writes pass" 0
+    (List.length good.A.res_findings)
+
+(* ---- project analysis: suppressions and stats ---- *)
+
+let test_project_suppressions () =
+  let r = A.analyze_paths [ project_dir ] in
+  check_int "seven findings survive over the corpus" 7
+    (List.length r.A.res_findings);
+  let dropped rule name =
+    List.exists
+      (fun f -> f.E.rule = rule && in_file name f)
+      r.A.res_suppressed
+  in
+  Alcotest.(check bool) "R9 suppressible" true
+    (dropped E.Shared_mutable_escape "driver.ml");
+  Alcotest.(check bool) "R10 suppressible" true
+    (dropped E.Rng_discipline "rng_bad.ml");
+  Alcotest.(check bool) "R11 suppressible" true
+    (dropped E.Nondet_merge "merge_bad.ml");
+  (* every corpus suppression matched something, so no W1 noise *)
+  check_int "no stale suppressions in the corpus" 0
+    (count E.Unused_suppression r.A.res_findings)
+
+let test_project_stats () =
+  let r = A.analyze_paths [ project_dir ] in
+  check_int "six corpus files scanned" 6 r.A.res_stats.A.st_files;
+  Alcotest.(check bool) "functions harvested" true
+    (r.A.res_stats.A.st_functions > 20);
+  Alcotest.(check bool) "shard-reachable functions counted" true
+    (r.A.res_stats.A.st_reachable > 0);
+  (* the deliberately-bad corpus must never leak into a project scan *)
+  check_int "fixtures directories are excluded" 0
+    (List.length (A.collect [] fixtures_dir))
+
+(* ---- exhaustiveness: every rule has a firing and a suppressed fixture ---- *)
+
+let test_exhaustiveness () =
+  let per_file =
+    Sys.readdir fixtures_dir |> Array.to_list
+    |> List.filter (fun n -> Filename.check_suffix n ".ml")
+    |> List.map (fun n ->
+           E.lint_source_full
+             ~relpath:("lib/core/" ^ n)
+             ~path:(fixture n)
+             (E.read_file (fixture n)))
+  in
+  let proj = A.analyze_paths [ project_dir ] in
+  let kept =
+    List.concat_map (fun (o : E.outcome) -> o.kept) per_file
+    @ proj.A.res_findings
+  in
+  let dropped =
+    List.concat_map (fun (o : E.outcome) -> o.dropped) per_file
+    @ proj.A.res_suppressed
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (E.rule_id r ^ " has a firing fixture")
+        true
+        (List.exists (fun f -> f.E.rule = r) kept);
+      Alcotest.(check bool)
+        (E.rule_id r ^ " has a suppressed fixture")
+        true
+        (List.exists (fun f -> f.E.rule = r) dropped))
+    E.all_rules
+
 (* ---- rendering ---- *)
 
 let contains needle hay =
@@ -151,6 +317,64 @@ let test_rendering () =
   Alcotest.(check bool) "json has rule ids" true (contains "\"rule\":\"R1\"" json);
   Alcotest.(check bool) "json has slugs" true (contains "\"slug\":\"float-eq\"" json);
   Alcotest.(check bool) "json has lines" true (contains "\"line\":3" json)
+
+(* ---- SARIF ---- *)
+
+let test_sarif () =
+  let fs = E.lint_file (fixture "bad_float_eq.ml") in
+  let sarif = E.render_sarif fs in
+  let doc =
+    match J.parse sarif with
+    | Ok d -> d
+    | Error e -> Alcotest.fail ("SARIF does not parse as JSON: " ^ e)
+  in
+  let get name o =
+    match o with
+    | J.Obj kvs -> (
+        match List.assoc_opt name kvs with
+        | Some v -> v
+        | None -> Alcotest.fail ("SARIF missing field " ^ name))
+    | _ -> Alcotest.fail ("SARIF field " ^ name ^ ": not an object")
+  in
+  Alcotest.(check bool) "version 2.1.0" true
+    (get "version" doc = J.String "2.1.0");
+  Alcotest.(check bool) "$schema present" true
+    (match get "$schema" doc with J.String _ -> true | _ -> false);
+  let run =
+    match get "runs" doc with
+    | J.List [ r ] -> r
+    | _ -> Alcotest.fail "expected exactly one run"
+  in
+  let driver = get "driver" (get "tool" run) in
+  Alcotest.(check bool) "driver is divlint" true
+    (get "name" driver = J.String "divlint");
+  let rules =
+    match get "rules" driver with
+    | J.List l -> l
+    | _ -> Alcotest.fail "rules is not a list"
+  in
+  check_int "rule metadata covers every rule" (List.length E.all_rules)
+    (List.length rules);
+  let results =
+    match get "results" run with
+    | J.List l -> l
+    | _ -> Alcotest.fail "results is not a list"
+  in
+  check_int "one result per finding" (List.length fs) (List.length results);
+  match results with
+  | first :: _ ->
+      Alcotest.(check bool) "ruleId" true (get "ruleId" first = J.String "R1");
+      Alcotest.(check bool) "level" true (get "level" first = J.String "error");
+      let region =
+        match get "locations" first with
+        | J.List [ l ] -> get "region" (get "physicalLocation" l)
+        | _ -> Alcotest.fail "expected one location"
+      in
+      Alcotest.(check bool) "startLine" true (get "startLine" region = J.Int 3);
+      (match get "startColumn" region with
+      | J.Int c -> Alcotest.(check bool) "column is 1-based" true (c >= 1)
+      | _ -> Alcotest.fail "startColumn is not an int")
+  | [] -> Alcotest.fail "no results"
 
 (* ---- rule token parsing ---- *)
 
@@ -175,7 +399,16 @@ let run_divlint args =
 let test_exit_codes () =
   check_int "known-bad corpus exits 1" 1
     (run_divlint [ fixture "bad_float_eq.ml" ]);
-  check_int "clean file exits 0" 0 (run_divlint [ fixture "clean.ml" ])
+  check_int "clean file exits 0" 0 (run_divlint [ fixture "clean.ml" ]);
+  check_int "project mode over the bad corpus exits 1" 1
+    (run_divlint [ "--project"; project_dir ]);
+  check_int "project mode over the good files exits 0" 0
+    (run_divlint
+       [
+         "--project";
+         Filename.concat project_dir "rng_good.ml";
+         Filename.concat project_dir "merge_good.ml";
+       ])
 
 let () =
   Alcotest.run "divlint"
@@ -192,11 +425,33 @@ let () =
           Alcotest.test_case "R8 domain-containment" `Quick test_domain;
           Alcotest.test_case "clean corpus" `Quick test_clean;
         ] );
+      ( "project",
+        [
+          Alcotest.test_case "R9 shared-mutable-escape" `Quick
+            test_shared_mutable;
+          Alcotest.test_case "R10 rng-discipline" `Quick test_rng_discipline;
+          Alcotest.test_case "R11 nondeterministic-merge" `Quick
+            test_nondet_merge;
+          Alcotest.test_case "project suppressions" `Quick
+            test_project_suppressions;
+          Alcotest.test_case "scan-surface stats" `Quick test_project_stats;
+        ] );
       ( "suppressions",
-        [ Alcotest.test_case "comment handling" `Quick test_suppressions ] );
+        [
+          Alcotest.test_case "comment handling" `Quick test_suppressions;
+          Alcotest.test_case "W1 unused suppressions" `Quick
+            test_unused_suppression;
+        ] );
+      ( "scoping",
+        [
+          Alcotest.test_case "exemption table" `Quick test_exemption_table;
+          Alcotest.test_case "every rule has fixtures" `Quick
+            test_exhaustiveness;
+        ] );
       ( "output",
         [
           Alcotest.test_case "text and json" `Quick test_rendering;
+          Alcotest.test_case "sarif" `Quick test_sarif;
           Alcotest.test_case "rule tokens" `Quick test_rule_tokens;
           Alcotest.test_case "exit codes" `Quick test_exit_codes;
         ] );

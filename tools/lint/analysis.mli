@@ -1,0 +1,29 @@
+(** The project-wide interprocedural analysis behind R9 (shared mutable
+    state escaping into shard code), R10 (Rng stream discipline) and R11
+    (nondeterministic merges). Loads every [.ml] under the given roots in
+    one pass, harvests call-graph summaries and the module-level
+    mutable-state inventory, and walks conservatively from every
+    shard-callback root. See DESIGN.md for the soundness caveats. *)
+
+type stats = {
+  st_files : int;  (** .ml files scanned *)
+  st_functions : int;  (** top-level bindings harvested *)
+  st_reachable : int;  (** named bindings reachable from a shard callback *)
+}
+
+type result = {
+  res_findings : Engine.finding list;  (** surviving findings, sorted *)
+  res_suppressed : Engine.finding list;
+  res_errors : string list;  (** parse-error descriptions *)
+  res_stats : stats;
+}
+
+val analyze_paths : string list -> result
+(** Analyse every [.ml] under the given files/directories, skipping
+    [_build], dot-directories and any directory named [fixtures] (the
+    deliberately-bad lint corpus; tests analyse it by passing it
+    explicitly). Suppression comments work as in per-file mode; unused
+    project-rule suppressions are reported as W1. *)
+
+val collect : string list -> string -> string list
+(** The file collector, exposed for the scan-surface stats test. *)

@@ -1,12 +1,25 @@
-(* divlint command line: lint the given files/directories (default: the
-   repo's source trees) and exit 1 on any finding, 2 on parse errors. *)
+(* divlint command line.
+
+   Per-file mode (default): lint the given files/directories (default:
+   the repo's source trees) with the syntactic rules R1-R8 (+W1) and
+   exit 1 on any finding, 2 on parse errors.
+
+   Project mode (--project): load every .ml under the roots (default:
+   lib bin tools test bench) in one pass and run the interprocedural
+   determinism rules R9-R11 (+W1); same exit codes, plus a scan-surface
+   summary on stderr so a silently-shrinking scan is visible in CI. *)
 
 let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+let project_default_roots = [ "lib"; "bin"; "tools"; "test"; "bench" ]
 
-let usage = "divlint [--json] [--rule R1,float-eq,...] [path ...]"
+let usage =
+  "divlint [--project] [--json|--sarif] [--rule R1,float-eq,...] [path ...]"
+
+type format = Text | Json | Sarif
 
 let () =
-  let json = ref false in
+  let format = ref Text in
+  let project = ref false in
   let only_rules = ref [] in
   let paths = ref [] in
   let add_rules spec =
@@ -20,29 +33,62 @@ let () =
   in
   let spec =
     [
-      ("--json", Arg.Set json, " emit findings as a JSON array");
+      ("--json", Arg.Unit (fun () -> format := Json),
+       " emit findings as a JSON array");
+      ("--sarif", Arg.Unit (fun () -> format := Sarif),
+       " emit findings as a SARIF 2.1.0 log");
+      ("--project", Arg.Set project,
+       " run the whole-project interprocedural analysis (R9-R11)");
       ( "--rule",
         Arg.String add_rules,
-        "RULES comma-separated rule ids or slugs to enable (default: all)" );
+        "RULES comma-separated rule ids or slugs to report (default: all)" );
     ]
   in
   Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
   let roots =
     match List.rev !paths with
-    | [] -> List.filter Sys.file_exists default_roots
+    | [] ->
+        List.filter Sys.file_exists
+          (if !project then project_default_roots else default_roots)
     | ps -> ps
   in
-  let findings, errors, scanned = Divlint_lib.Engine.lint_paths roots in
+  let findings, errors, summary =
+    if !project then begin
+      let r = Divlint_lib.Analysis.analyze_paths roots in
+      let s = r.Divlint_lib.Analysis.res_stats in
+      ( r.Divlint_lib.Analysis.res_findings,
+        r.Divlint_lib.Analysis.res_errors,
+        fun n ->
+          Printf.sprintf
+            "divlint --project: %d file(s), %d function(s), %d \
+             shard-reachable, %d finding(s)"
+            s.Divlint_lib.Analysis.st_files
+            s.Divlint_lib.Analysis.st_functions
+            s.Divlint_lib.Analysis.st_reachable n )
+    end
+    else begin
+      let findings, errors, scanned =
+        Divlint_lib.Engine.lint_paths roots
+      in
+      ( findings,
+        errors,
+        fun n -> Printf.sprintf "divlint: %d finding(s) in %d file(s)" n scanned
+      )
+    end
+  in
   let findings =
     match !only_rules with
     | [] -> findings
-    | rules -> List.filter (fun f -> List.mem f.Divlint_lib.Engine.rule rules) findings
+    | rules ->
+        List.filter
+          (fun f -> List.mem f.Divlint_lib.Engine.rule rules)
+          findings
   in
   List.iter prerr_endline errors;
-  if !json then print_string (Divlint_lib.Engine.render_json findings)
-  else begin
-    print_string (Divlint_lib.Engine.render_text findings);
-    Printf.eprintf "divlint: %d finding(s) in %d file(s)\n"
-      (List.length findings) scanned
-  end;
+  (match !format with
+  | Json -> print_string (Divlint_lib.Engine.render_json findings)
+  | Sarif -> print_string (Divlint_lib.Engine.render_sarif findings)
+  | Text ->
+      print_string (Divlint_lib.Engine.render_text findings);
+      prerr_endline (summary (List.length findings)));
   if errors <> [] then exit 2 else if findings <> [] then exit 1

@@ -2,9 +2,11 @@
 
    Parses every .ml with compiler-libs and walks the Parsetree with
    Ast_iterator, enforcing the project rules documented in README.md
-   ("Static analysis"). The checks are deliberately syntactic: they run
-   before type-checking, need no build context, and therefore work on any
-   parseable source file, including the known-bad fixture corpus. *)
+   ("Static analysis"). The per-file checks (R1-R8) are deliberately
+   syntactic: they run before type-checking, need no build context, and
+   therefore work on any parseable source file, including the known-bad
+   fixture corpus. The project-wide rules (R9-R11) live in Analysis,
+   which builds on the same finding/suppression machinery here. *)
 
 type rule =
   | Float_eq (* R1: exact float (in)equality against a float literal *)
@@ -15,8 +17,16 @@ type rule =
   | Partial_fun (* R6: partial function (List.hd / List.nth / Option.get) *)
   | Wallclock (* R7: non-monotonic time source outside lib/obs/ *)
   | Domain_containment (* R8: Domain/Atomic primitive outside lib/exec/ *)
+  | Shared_mutable_escape
+    (* R9: module-level mutable state written from shard-reachable code *)
+  | Rng_discipline
+    (* R10: parent/global Rng stream drawn from inside shard code *)
+  | Nondet_merge
+    (* R11: shard results accumulated outside shard-index order *)
+  | Unused_suppression
+    (* W1: a divlint-allow comment whose rule never fires on its line *)
 
-let all_rules =
+let syntactic_rules =
   [
     Float_eq;
     Random_use;
@@ -28,6 +38,9 @@ let all_rules =
     Domain_containment;
   ]
 
+let project_rules = [ Shared_mutable_escape; Rng_discipline; Nondet_merge ]
+let all_rules = syntactic_rules @ project_rules @ [ Unused_suppression ]
+
 let rule_id = function
   | Float_eq -> "R1"
   | Random_use -> "R2"
@@ -37,6 +50,10 @@ let rule_id = function
   | Partial_fun -> "R6"
   | Wallclock -> "R7"
   | Domain_containment -> "R8"
+  | Shared_mutable_escape -> "R9"
+  | Rng_discipline -> "R10"
+  | Nondet_merge -> "R11"
+  | Unused_suppression -> "W1"
 
 let rule_slug = function
   | Float_eq -> "float-eq"
@@ -47,6 +64,31 @@ let rule_slug = function
   | Partial_fun -> "partial"
   | Wallclock -> "wallclock"
   | Domain_containment -> "domain-containment"
+  | Shared_mutable_escape -> "shared-mutable-escape"
+  | Rng_discipline -> "rng-discipline"
+  | Nondet_merge -> "nondeterministic-merge"
+  | Unused_suppression -> "unused-suppression"
+
+let rule_doc = function
+  | Float_eq -> "exact float (in)equality against a float literal"
+  | Random_use -> "Stdlib.Random outside the seeded Numerics.Rng"
+  | Float_sum -> "naive float accumulation via fold_left ( +. )"
+  | Missing_mli -> "lib module without an interface file"
+  | Print_effect -> "printing side effect in lib/ outside lib/report/"
+  | Partial_fun -> "partial function in lib/"
+  | Wallclock -> "non-monotonic time source outside lib/obs/"
+  | Domain_containment -> "parallelism primitive outside lib/exec/"
+  | Shared_mutable_escape ->
+      "module-level mutable state written from shard-reachable code without \
+       Atomic/Mutex/Domain.DLS protection"
+  | Rng_discipline ->
+      "parent or module-level Rng stream drawn from shard code instead of a \
+       per-shard Rng.split substream"
+  | Nondet_merge ->
+      "shard results accumulated in completion or hash order instead of \
+       shard-index order"
+  | Unused_suppression ->
+      "a (* divlint: allow ... *) comment whose rule never fires on its line"
 
 let rule_of_token tok =
   let tok = String.lowercase_ascii (String.trim tok) in
@@ -64,15 +106,67 @@ type finding = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Rule scoping                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+type scope = Everywhere | Lib_only
+
+let rule_scope = function
+  | Missing_mli | Print_effect | Partial_fun -> Lib_only
+  | _ -> Everywhere
+
+(* The single source of truth for path-based rule exemptions: which rules
+   are switched off under which trees. A pattern ending in '/' exempts
+   the whole subtree; any other pattern must match the path exactly.
+   R1-R11 all consult this table (W1 applies everywhere). *)
+let exemption_table =
+  [
+    ("lib/numerics/rng.ml", [ Random_use ]);
+    ("lib/report/", [ Print_effect ]);
+    ("lib/obs/", [ Wallclock ]);
+    ("lib/exec/", [ Domain_containment; Shared_mutable_escape ]);
+  ]
+
+let exempt_rules relpath =
+  List.concat_map
+    (fun (pat, rules) ->
+      let matches =
+        if pat <> "" && pat.[String.length pat - 1] = '/' then
+          has_prefix ~prefix:pat relpath
+        else relpath = pat
+      in
+      if matches then rules else [])
+    exemption_table
+
+let rule_applies rule relpath =
+  (match rule_scope rule with
+  | Everywhere -> true
+  | Lib_only -> has_prefix ~prefix:"lib/" relpath)
+  && not (List.mem rule (exempt_rules relpath))
+
+(* ------------------------------------------------------------------ *)
 (* Suppression comments                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* [(* divlint: allow float-eq *)] on a line suppresses matching findings
-   on that line; when the comment is the only thing on its line it
+(* A comment of the form "divlint: allow float-eq" suppresses matching
+   findings on its line; when the comment is the only thing on its line it
    suppresses the following line instead. Several slugs (or rule ids, or
-   [all]) may be listed, separated by spaces or commas. *)
+   "all") may be listed, separated by spaces or commas. Each comment is
+   tracked individually so that a suppression which never fires can
+   itself be reported (W1). *)
 
-type suppression = Allow_all | Allow of rule list
+type suppression_spec = Allow_all | Allow of rule list
+
+type suppression_entry = {
+  sup_line : int; (* line the comment sits on *)
+  sup_target : int; (* line whose findings it suppresses *)
+  sup_spec : suppression_spec;
+  mutable sup_used : bool;
+}
 
 let suppression_re =
   Str.regexp
@@ -92,9 +186,8 @@ let parse_suppression_tokens text =
     | [] -> None
     | rules -> Some (Allow rules)
 
-(* line number -> suppressions in force on that line *)
 let scan_suppressions source =
-  let tbl = Hashtbl.create 8 in
+  let entries = ref [] in
   let lines = String.split_on_char '\n' source in
   List.iteri
     (fun i line ->
@@ -105,7 +198,7 @@ let scan_suppressions source =
           let tokens = Str.matched_group 1 line in
           (match parse_suppression_tokens tokens with
           | None -> ()
-          | Some sup ->
+          | Some spec ->
               let stop = start + String.length matched in
               let before = String.sub line 0 start in
               let after =
@@ -113,41 +206,94 @@ let scan_suppressions source =
               in
               let standalone = is_blank before && is_blank after in
               let target = (i + 1) + if standalone then 1 else 0 in
-              Hashtbl.add tbl target sup))
+              entries :=
+                {
+                  sup_line = i + 1;
+                  sup_target = target;
+                  sup_spec = spec;
+                  sup_used = false;
+                }
+                :: !entries))
     lines;
-  tbl
+  List.rev !entries
 
-let suppressed tbl line rule =
-  List.exists
-    (function Allow_all -> true | Allow rules -> List.mem rule rules)
-    (Hashtbl.find_all tbl line)
+let spec_allows spec rule =
+  match spec with Allow_all -> true | Allow rules -> List.mem rule rules
 
-(* ------------------------------------------------------------------ *)
-(* Path classification                                                *)
-(* ------------------------------------------------------------------ *)
-
-let has_prefix ~prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
-
-type ctx = {
-  relpath : string; (* path as reported, used for rule scoping *)
-  in_lib : bool;
-  in_report : bool;
-  in_obs : bool;
-  in_exec : bool;
-  is_rng : bool;
-}
-
-let make_ctx relpath =
-  {
-    relpath;
-    in_lib = has_prefix ~prefix:"lib/" relpath;
-    in_report = has_prefix ~prefix:"lib/report/" relpath;
-    in_obs = has_prefix ~prefix:"lib/obs/" relpath;
-    in_exec = has_prefix ~prefix:"lib/exec/" relpath;
-    is_rng = relpath = "lib/numerics/rng.ml";
-  }
+(* Partition [findings] into (kept, suppressed) under [entries], marking
+   each entry that suppresses something as used; then report entries that
+   are judged unused as W1 findings. An entry is only judged when every
+   rule it lists was actually checkable in this run — a per-file pass
+   cannot tell whether a project-rule suppression is stale and vice
+   versa. [Allow_all] entries are never judged (no single pass checks
+   every rule). W1 findings are themselves suppressible: meta-suppressions
+   are consumed first so that silencing a W1 does not beget another. *)
+let apply_suppressions ~file ~checkable entries findings =
+  let suppress f =
+    let hit = ref false in
+    List.iter
+      (fun e ->
+        if e.sup_target = f.line && spec_allows e.sup_spec f.rule then begin
+          e.sup_used <- true;
+          hit := true
+        end)
+      entries;
+    !hit
+  in
+  let kept, dropped = List.partition (fun f -> not (suppress f)) findings in
+  if not (List.mem Unused_suppression checkable) then (kept, dropped)
+  else begin
+    let warning e =
+      let listed =
+        match e.sup_spec with
+        | Allow_all -> "all"
+        | Allow rules -> String.concat ", " (List.map rule_slug rules)
+      in
+      {
+        rule = Unused_suppression;
+        file;
+        line = e.sup_line;
+        col = 0;
+        message =
+          Printf.sprintf
+            "suppression (allow %s) never matched a finding on its target \
+             line in this run; remove it or fix the rule list"
+            listed;
+      }
+    in
+    let judged e =
+      (not e.sup_used)
+      &&
+      match e.sup_spec with
+      | Allow_all -> false
+      | Allow rules -> List.for_all (fun r -> List.mem r checkable) rules
+    in
+    let mentions_w1 e =
+      match e.sup_spec with
+      | Allow_all -> false
+      | Allow rules -> List.mem Unused_suppression rules
+    in
+    (* Stage 1: ordinary stale suppressions; filtering these marks any
+       meta-suppression that silences them as used. *)
+    let stage1 =
+      entries
+      |> List.filter (fun e -> judged e && not (mentions_w1 e))
+      |> List.map warning
+    in
+    let kept1, dropped1 =
+      List.partition (fun f -> not (suppress f)) stage1
+    in
+    (* Stage 2: meta-suppressions that are still unused after stage 1. *)
+    let stage2 =
+      entries
+      |> List.filter (fun e -> judged e && mentions_w1 e)
+      |> List.map warning
+    in
+    let kept2, dropped2 =
+      List.partition (fun f -> not (suppress f)) stage2
+    in
+    (kept @ kept1 @ kept2, dropped @ dropped1 @ dropped2)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* AST helpers                                                        *)
@@ -238,7 +384,7 @@ let message rule detail =
       Printf.sprintf
         "exact float comparison (%s) against a float literal; use \
          Numerics.Stats.approx_eq / Numerics.Stats.is_zero (or classify \
-         the float) or annotate with (* divlint: allow float-eq *)"
+         the float) or suppress with a divlint allow comment (float-eq)"
         detail
   | Random_use ->
       Printf.sprintf
@@ -272,43 +418,44 @@ let message rule detail =
       Printf.sprintf
         "%s: domain primitive outside lib/exec/; run parallel work through \
          Exec.Pool / Exec.map_reduce so results stay deterministic, or \
-         annotate with (* divlint: allow domain-containment *)"
+         suppress with a divlint allow comment (domain-containment)"
         detail
+  | Shared_mutable_escape | Rng_discipline | Nondet_merge ->
+      (* project rules compose their own messages in Analysis *)
+      detail
+  | Unused_suppression -> detail
 
-let findings_of_structure ctx structure =
+let findings_of_structure relpath structure =
   let acc = ref [] in
   let add (loc : Location.t) rule detail =
-    let pos = loc.loc_start in
-    !acc
-    |> List.exists (fun f ->
-           f.rule = rule && f.line = pos.pos_lnum
-           && f.col = pos.pos_cnum - pos.pos_bol)
-    |> fun dup ->
-    if not dup then
-      acc :=
-        {
-          rule;
-          file = ctx.relpath;
-          line = pos.pos_lnum;
-          col = pos.pos_cnum - pos.pos_bol;
-          message = message rule detail;
-        }
-        :: !acc
+    if rule_applies rule relpath then begin
+      let pos = loc.loc_start in
+      !acc
+      |> List.exists (fun f ->
+             f.rule = rule && f.line = pos.pos_lnum
+             && f.col = pos.pos_cnum - pos.pos_bol)
+      |> fun dup ->
+      if not dup then
+        acc :=
+          {
+            rule;
+            file = relpath;
+            line = pos.pos_lnum;
+            col = pos.pos_cnum - pos.pos_bol;
+            message = message rule detail;
+          }
+          :: !acc
+    end
   in
   let check_ident loc path =
     let path = normalize path in
     (match String.index_opt path '.' with
-    | Some i when String.sub path 0 i = "Random" && not ctx.is_rng ->
-        add loc Random_use path
+    | Some i when String.sub path 0 i = "Random" -> add loc Random_use path
     | _ -> ());
-    if ctx.in_lib && (not ctx.in_report) && List.mem path printer_paths then
-      add loc Print_effect path;
-    if ctx.in_lib && List.mem path partial_paths then
-      add loc Partial_fun path;
-    if (not ctx.in_obs) && List.mem path wallclock_paths then
-      add loc Wallclock path;
-    if (not ctx.in_exec) && is_domain_primitive path then
-      add loc Domain_containment path
+    if List.mem path printer_paths then add loc Print_effect path;
+    if List.mem path partial_paths then add loc Partial_fun path;
+    if List.mem path wallclock_paths then add loc Wallclock path;
+    if is_domain_primitive path then add loc Domain_containment path
   in
   let check_apply (e : Parsetree.expression) fn args =
     match fn.Parsetree.pexp_desc with
@@ -369,33 +516,44 @@ let parse_implementation ~path source =
   Location.init lexbuf path;
   Parse.implementation lexbuf
 
-let lint_source ?relpath ~path source =
-  let ctx = make_ctx (Option.value relpath ~default:path) in
+type outcome = { kept : finding list; dropped : finding list }
+
+let lint_source_full ?(rules = syntactic_rules) ?relpath ~path source =
+  let relpath = Option.value relpath ~default:path in
   let structure = parse_implementation ~path source in
-  let suppressions = scan_suppressions source in
-  let ast_findings = findings_of_structure ctx structure in
+  let entries = scan_suppressions source in
+  let ast_findings = findings_of_structure relpath structure in
   let mli_findings =
     if
-      ctx.in_lib
-      && Filename.check_suffix ctx.relpath ".ml"
+      Filename.check_suffix relpath ".ml"
+      && rule_applies Missing_mli relpath
       && not (Sys.file_exists (path ^ "i"))
     then
       [
         {
           rule = Missing_mli;
-          file = ctx.relpath;
+          file = relpath;
           line = 1;
           col = 0;
-          message = message Missing_mli ctx.relpath;
+          message = message Missing_mli relpath;
         };
       ]
     else []
   in
-  List.filter
-    (fun f -> not (suppressed suppressions f.line f.rule))
-    (mli_findings @ ast_findings)
+  let raw =
+    List.filter (fun f -> List.mem f.rule rules) (mli_findings @ ast_findings)
+  in
+  let checkable = Unused_suppression :: rules in
+  let kept, dropped =
+    apply_suppressions ~file:relpath ~checkable entries raw
+  in
+  { kept; dropped }
 
-let lint_file ?relpath path = lint_source ?relpath ~path (read_file path)
+let lint_source ?rules ?relpath ~path source =
+  (lint_source_full ?rules ?relpath ~path source).kept
+
+let lint_file ?rules ?relpath path =
+  lint_source ?rules ?relpath ~path (read_file path)
 
 let rec collect_ml_files acc path =
   if Sys.is_directory path then
@@ -408,14 +566,14 @@ let rec collect_ml_files acc path =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
-let lint_paths paths =
+let lint_paths ?rules paths =
   let files =
     List.fold_left collect_ml_files [] paths |> List.sort_uniq compare
   in
   let findings, errors =
     List.fold_left
       (fun (fs, es) file ->
-        match lint_file file with
+        match lint_file ?rules file with
         | findings -> (fs @ findings, es)
         | exception exn ->
             let err =
@@ -462,3 +620,41 @@ let render_json findings =
       (json_escape f.message)
   in
   "[" ^ String.concat "," (List.map item findings) ^ "]\n"
+
+(* SARIF 2.1.0 (the static-analysis interchange format CI systems render
+   as code annotations). One run, one driver, the full rule table, one
+   result per finding. Columns are 1-based in SARIF; divlint's are
+   0-based, hence the + 1. *)
+let render_sarif findings =
+  let rule_json r =
+    Printf.sprintf
+      "{\"id\":\"%s\",\"name\":\"%s\",\"shortDescription\":{\"text\":\"%s\"}}"
+      (rule_id r) (json_escape (rule_slug r))
+      (json_escape (rule_doc r))
+  in
+  let rule_index r =
+    let rec go i = function
+      | [] -> -1
+      | r' :: rest -> if r' = r then i else go (i + 1) rest
+    in
+    go 0 all_rules
+  in
+  let result f =
+    let level =
+      match f.rule with Unused_suppression -> "warning" | _ -> "error"
+    in
+    Printf.sprintf
+      "{\"ruleId\":\"%s\",\"ruleIndex\":%d,\"level\":\"%s\",\
+       \"message\":{\"text\":\"%s\"},\"locations\":[{\"physicalLocation\":\
+       {\"artifactLocation\":{\"uri\":\"%s\"},\"region\":{\"startLine\":%d,\
+       \"startColumn\":%d}}}]}"
+      (rule_id f.rule) (rule_index f.rule) level (json_escape f.message)
+      (json_escape f.file) f.line (f.col + 1)
+  in
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+     \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+     \"name\":\"divlint\",\"informationUri\":\
+     \"https://example.invalid/divlint\",\"rules\":[%s]}},\"results\":[%s]}]}\n"
+    (String.concat "," (List.map rule_json all_rules))
+    (String.concat "," (List.map result findings))

@@ -1,0 +1,32 @@
+(* Shard callbacks exercising the R9 paths, including the cross-module
+   mutation per-file linting provably cannot see. *)
+
+let bad_cross_module () =
+  Exec.map_shards ~shards:4 ~f:(fun _k -> Store.bump ()) ()
+
+let bad_qualified_write () =
+  Exec.map_shards ~shards:4 ~f:(fun _k -> Store.hits := !Store.hits + 1) ()
+
+let bad_container () =
+  Exec.map_shards ~shards:4 ~f:(fun k -> Store.record_sample k 1.0) ()
+
+let bad_suppressed () =
+  Exec.map_shards ~shards:4
+    ~f:(fun _k ->
+      (* divlint: allow shared-mutable-escape *)
+      Store.total := !Store.total +. 1.0)
+    ()
+
+let good_guarded () =
+  Exec.map_shards ~shards:4 ~f:(fun _k -> Store.bump_guarded ()) ()
+
+let good_atomic () =
+  Exec.map_shards ~shards:4 ~f:(fun _k -> Store.bump_protected ()) ()
+
+let good_local () =
+  Exec.map_shards ~shards:4
+    ~f:(fun k ->
+      let local = ref 0 in
+      local := k;
+      !local)
+    ()

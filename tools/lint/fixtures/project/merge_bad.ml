@@ -1,0 +1,22 @@
+(* R11 corpus: shard results merged outside shard-index order. *)
+
+let bad_completion_order xs =
+  let total = ref 0.0 in
+  Exec.map_shards ~shards:4 ~f:(fun k -> total := !total +. xs.(k)) ();
+  !total
+
+let shard_outputs = Hashtbl.create 16
+
+let bad_hash_merge () =
+  let results = Exec.map_shards ~shards:4 ~f:(fun k -> k) () in
+  ignore results;
+  Hashtbl.fold (fun _k v acc -> v +. acc) shard_outputs 0.0
+
+let bad_suppressed xs =
+  let total = ref 0.0 in
+  Exec.map_shards ~shards:4
+    ~f:(fun k ->
+      (* divlint: allow nondeterministic-merge *)
+      total := !total +. xs.(k))
+    ();
+  !total

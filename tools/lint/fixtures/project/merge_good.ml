@@ -1,0 +1,16 @@
+(* R11 negative: the sanctioned merge patterns. *)
+
+(* map_reduce's ~merge runs sequentially over shard-indexed results at
+   join — the callback itself stays pure. *)
+let good_index_order xs =
+  Exec.map_reduce ~shards:4
+    ~f:(fun k -> xs.(k))
+    ~merge:(fun acc v -> acc +. v)
+    ()
+
+(* Disjoint indexed writes into a preallocated output buffer: each shard
+   owns slot k, so completion order cannot change the result. *)
+let good_slices n =
+  let out = Array.make n 0.0 in
+  Exec.map_shards ~shards:4 ~f:(fun k -> out.(k) <- float_of_int k) ();
+  out

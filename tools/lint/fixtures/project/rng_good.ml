@@ -1,0 +1,13 @@
+(* R10 negative: every shard draws from its own split substream. *)
+
+let good_substream rng =
+  let rngs = Exec.split_rngs rng ~shards:4 in
+  Exec.map_shards ~shards:4 ~f:(fun k -> Numerics.Rng.float rngs.(k)) ()
+
+let good_rebound rng =
+  let rngs = Exec.split_rngs rng ~shards:4 in
+  Exec.map_shards ~shards:4
+    ~f:(fun k ->
+      let rng_k = rngs.(k) in
+      Numerics.Rng.uniform rng_k ~lo:0.0 ~hi:1.0)
+    ()

@@ -1,0 +1,26 @@
+(* Module-level mutable state for the project-analysis corpus. Writing
+   [hits]/[total]/[samples] from shard-reachable code is an R9 unless the
+   writing function takes the mutex; [protected_hits] is safe by
+   construction. *)
+
+let hits = ref 0
+let total = ref 0.0
+let samples = Hashtbl.create 16
+let guard = Mutex.create ()
+let protected_hits = Atomic.make 0
+
+(* The cross-module hazard: per-file linting of this file alone sees an
+   ordinary function mutating an ordinary ref. Only the project pass,
+   with Driver.bad_cross_module's shard callback in view, can tell this
+   write races. *)
+let bump () = hits := !hits + 1
+let accumulate x = total := !total +. x
+
+let record_sample k v = Hashtbl.replace samples k v
+
+let bump_guarded () =
+  Mutex.lock guard;
+  hits := !hits + 1;
+  Mutex.unlock guard
+
+let bump_protected () = Atomic.incr protected_hits

@@ -1,0 +1,10 @@
+let has_no_interface = 1 (* divlint: allow missing-mli *)
+
+let log_it s = print_endline s (* divlint: allow print *)
+
+let first xs = List.hd xs (* divlint: allow partial *)
+
+let now () = Unix.gettimeofday () (* divlint: allow wallclock *)
+
+(* divlint: allow domain-containment *)
+let spawn f = Domain.spawn f

@@ -1,0 +1,7 @@
+(* A stale suppression silenced by a meta-suppression: the float-eq allow
+   below never fires (W1), but the unused-suppression allow above it
+   swallows that warning, so this file lints clean. *)
+
+(* divlint: allow unused-suppression *)
+(* divlint: allow float-eq *)
+let ok = 1

@@ -1,0 +1,3 @@
+(* A suppression whose rule never fires on its line: W1 must report it. *)
+
+let ok = 1 (* divlint: allow float-eq *)

@@ -1,0 +1,115 @@
+(* Inventory of module-level mutable state.
+
+   A top-level [let] whose right-hand side syntactically allocates a
+   mutable value (ref / array / Bytes / Hashtbl / Buffer / Queue / Stack
+   / Rng stream) is a shared-state hazard when written from shard code
+   (R9) or drawn from (R10). Allocations wrapped in the sanctioned
+   protections — [Atomic.make], [Domain.DLS.new_key], [Mutex.create] —
+   are inventoried as protected and never flagged.
+
+   Limitations (documented in DESIGN.md): a mutable *record* literal
+   ([let s = { count = 0 }]) is indistinguishable from an immutable one
+   without type information, so it is not inventoried; protection is
+   judged at the allocation site only. *)
+
+type kind =
+  | Ref
+  | Arr
+  | Bytes_buf
+  | Hashtbl_t
+  | Buffer_t
+  | Queue_t
+  | Stack_t
+  | Rng_stream
+
+let kind_word = function
+  | Ref -> "ref"
+  | Arr -> "array"
+  | Bytes_buf -> "bytes"
+  | Hashtbl_t -> "hashtable"
+  | Buffer_t -> "buffer"
+  | Queue_t -> "queue"
+  | Stack_t -> "stack"
+  | Rng_stream -> "rng stream"
+
+type nature =
+  | Mutable of kind  (** unprotected mutable state *)
+  | Protected of string  (** "Atomic" / "Domain.DLS" / "Mutex" *)
+
+type item = {
+  it_name : string;
+  it_mods : string list;  (** enclosing modules, outermost first *)
+  it_file : string;
+  it_loc : Callgraph.loc;
+  it_nature : nature;
+}
+
+(* Classify the RHS of a top-level binding. Peels constraints and
+   single-branch wrappers ([lazy] is left alone: forcing is itself a
+   race, but none exist at module level in this repo). *)
+let rec classify (e : Parsetree.expression) : nature option =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) -> classify e
+  | Pexp_array _ -> Some (Mutable Arr)
+  | Pexp_apply (fn, _) -> (
+      match
+        match fn.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+            Some (Engine.normalize (Engine.path_of_lid txt))
+        | _ -> None
+      with
+      | None -> None
+      | Some path -> (
+          if path = "ref" then Some (Mutable Ref)
+          else if Callgraph.is_rng_create path then Some (Mutable Rng_stream)
+          else
+            match Callgraph.last2 path with
+            | Some ("Atomic", "make") -> Some (Protected "Atomic")
+            | Some ("DLS", "new_key") -> Some (Protected "Domain.DLS")
+            | Some (("Mutex" | "Condition" | "Semaphore"), "create") ->
+                Some (Protected "Mutex")
+            | Some ("Array", ("make" | "create" | "init" | "make_matrix")) ->
+                Some (Mutable Arr)
+            | Some ("Bytes", ("make" | "create" | "init")) ->
+                Some (Mutable Bytes_buf)
+            | Some ("Hashtbl", "create") -> Some (Mutable Hashtbl_t)
+            | Some ("Buffer", "create") -> Some (Mutable Buffer_t)
+            | Some ("Queue", "create") -> Some (Mutable Queue_t)
+            | Some ("Stack", "create") -> Some (Mutable Stack_t)
+            | _ -> None))
+  | _ -> None
+
+let harvest ~modname ~file (structure : Parsetree.structure) : item list =
+  let out = ref [] in
+  let rec walk mods items =
+    List.iter
+      (fun (item : Parsetree.structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Parsetree.value_binding) ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt = name; _ } -> (
+                    match classify vb.pvb_expr with
+                    | Some nature ->
+                        out :=
+                          {
+                            it_name = name;
+                            it_mods = mods;
+                            it_file = file;
+                            it_loc = Callgraph.loc_of vb.pvb_loc;
+                            it_nature = nature;
+                          }
+                          :: !out
+                    | None -> ())
+                | _ -> ())
+              vbs
+        | Pstr_module { pmb_name = { txt = Some sub; _ }; pmb_expr; _ } -> (
+            match pmb_expr.pmod_desc with
+            | Pmod_structure sub_items -> walk (mods @ [ sub ]) sub_items
+            | _ -> ())
+        | _ -> ())
+      items
+  in
+  walk [ modname ] structure;
+  List.rev !out

@@ -1,0 +1,30 @@
+(** Inventory of module-level mutable state: every top-level binding whose
+    right-hand side syntactically allocates a mutable value, classified as
+    unprotected (a shared-state hazard when reached from shard code) or
+    protected by construction ([Atomic.make] / [Domain.DLS.new_key] /
+    [Mutex.create]). *)
+
+type kind =
+  | Ref
+  | Arr
+  | Bytes_buf
+  | Hashtbl_t
+  | Buffer_t
+  | Queue_t
+  | Stack_t
+  | Rng_stream
+
+val kind_word : kind -> string
+
+type nature = Mutable of kind | Protected of string
+
+type item = {
+  it_name : string;
+  it_mods : string list;
+  it_file : string;
+  it_loc : Callgraph.loc;
+  it_nature : nature;
+}
+
+val classify : Parsetree.expression -> nature option
+val harvest : modname:string -> file:string -> Parsetree.structure -> item list
