@@ -1,4 +1,4 @@
-.PHONY: all build lint lint-project test check prop diff bench-json clean
+.PHONY: all build lint lint-project test check prop diff bench-json evidence clean
 
 all: build
 
@@ -43,6 +43,15 @@ check:
 	DIVREL_DOMAINS=2 PROP_SEED=271828 dune exec test/test_diff.exe
 	DIVREL_DOMAINS=2 PROP_SEED=314159 dune exec test/test_diff.exe
 	dune build @bench-smoke
+	dune build @evidence-smoke
+
+# Proven-in-use evidence pipeline, end to end: log a fleet campaign
+# (E26, seed 42) and stream the run log through the assessor with
+# windowed interim verdicts, printing the final text report.
+evidence:
+	dune build bin/experiments_cli.exe
+	dune exec bin/experiments_cli.exe -- run E26 --seed 42 --shards 1 --log /tmp/divrel_e26_runlog.jsonl > /dev/null
+	dune exec bin/experiments_cli.exe -- evidence /tmp/divrel_e26_runlog.jsonl --window 400 --profile uniform:1600
 
 # Replay/explore the property suites on a chosen case stream:
 #   make prop PROP_SEED=1234

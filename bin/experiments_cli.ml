@@ -224,6 +224,214 @@ let check_cmd =
         (const run $ seed_arg $ cases_arg $ replications_arg $ trace_arg
        $ metrics_arg $ log_arg $ domains_arg $ shards_arg))
 
+(* Declared-profile specs for the evidence verb: the drift detector
+   needs the profile the operating evidence was supposedly collected
+   under, given on the command line as a constructor spec. *)
+let parse_profile spec =
+  let err () =
+    Error
+      (Printf.sprintf
+         "bad --profile %S: expected uniform:SIZE, zipf:SIZE:EXPONENT, or \
+          peaked:SIZE:PEAK:MASS"
+         spec)
+  in
+  let size_of s =
+    match int_of_string_opt s with Some n when n > 0 -> Some n | _ -> None
+  in
+  let build f = try Ok (Demandspace.Profile.probabilities (f ())) with
+    | Invalid_argument msg -> Error ("bad --profile: " ^ msg)
+  in
+  match String.split_on_char ':' spec with
+  | [ "uniform"; n ] -> (
+      match size_of n with
+      | Some size -> build (fun () -> Demandspace.Profile.uniform ~size)
+      | None -> err ())
+  | [ "zipf"; n; e ] -> (
+      match (size_of n, float_of_string_opt e) with
+      | Some size, Some exponent ->
+          build (fun () -> Demandspace.Profile.zipf ~size ~exponent)
+      | _ -> err ())
+  | [ "peaked"; n; p; m ] -> (
+      match (size_of n, int_of_string_opt p, float_of_string_opt m) with
+      | Some size, Some peak, Some mass ->
+          build (fun () -> Demandspace.Profile.peaked ~size ~peak ~mass)
+      | _ -> err ())
+  | _ -> err ()
+
+let evidence_cmd =
+  let runlog_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"RUNLOG"
+          ~doc:"JSONL run log to assess (written by run/all/check --log).")
+  in
+  let window_arg =
+    let doc =
+      "Ingest in windows of $(docv) lines, printing an interim verdict line \
+       after each window (suppressed under --json, where output depends only \
+       on the log's contents). 0 ingests the whole log as one batch. The \
+       final verdict is identical for every window size."
+    in
+    Arg.(value & opt int 0 & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Print the final verdict as canonical JSON instead of text. \
+       Byte-identical for any --window."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let fopt name ~default doc =
+    Arg.(value & opt float default & info [ name ] ~docv:"X" ~doc)
+  in
+  let d = Evidence.Assessor.default_config in
+  let theta0_arg =
+    fopt "theta0" ~default:d.Evidence.Assessor.theta0
+      "Acceptable PFD (H0) of the Wald boundary."
+  in
+  let theta1_arg =
+    fopt "theta1" ~default:d.Evidence.Assessor.theta1
+      "Rejectable PFD (H1) of the Wald boundary; must exceed theta0."
+  in
+  let alpha_arg =
+    fopt "alpha" ~default:d.Evidence.Assessor.alpha
+      "Type-I error rate of the Wald boundary."
+  in
+  let beta_arg =
+    fopt "beta" ~default:d.Evidence.Assessor.beta
+      "Type-II error rate of the Wald boundary."
+  in
+  let prior_a_arg =
+    fopt "prior-a" ~default:d.Evidence.Assessor.prior_a
+      "Beta prior alpha parameter for the posterior PFD."
+  in
+  let prior_b_arg =
+    fopt "prior-b" ~default:d.Evidence.Assessor.prior_b
+      "Beta prior beta parameter for the posterior PFD."
+  in
+  let bound_arg =
+    fopt "bound" ~default:d.Evidence.Assessor.bound
+      "PFD bound the posterior confidence is reported against."
+  in
+  let confidence_arg =
+    fopt "confidence" ~default:d.Evidence.Assessor.confidence
+      "Coverage of the reported posterior interval (and the confidence an \
+       accepted verdict requires in the bound)."
+  in
+  let profile_arg =
+    let doc =
+      "Declared operational profile for drift detection: uniform:SIZE, \
+       zipf:SIZE:EXPONENT, or peaked:SIZE:PEAK:MASS. Omitted: drift \
+       detection disabled."
+    in
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"SPEC" ~doc)
+  in
+  let drift_alpha_arg =
+    fopt "drift-alpha" ~default:d.Evidence.Assessor.drift_alpha
+      "Drift alarm threshold on the chi-square p-value."
+  in
+  let run file window json theta0 theta1 alpha beta prior_a prior_b bound
+      confidence profile drift_alpha metrics =
+    setup_logs ();
+    if window < 0 then `Error (false, "--window must be >= 0")
+    else
+      let profile_result =
+        match profile with
+        | None -> Ok None
+        | Some spec -> Result.map Option.some (parse_profile spec)
+      in
+      match profile_result with
+      | Error msg -> `Error (false, msg)
+      | Ok expected_profile -> (
+          let assessor =
+            try
+              Ok
+                (Evidence.Assessor.create
+                   {
+                     Evidence.Assessor.theta0;
+                     theta1;
+                     alpha;
+                     beta;
+                     prior_a;
+                     prior_b;
+                     bound;
+                     confidence;
+                     expected_profile;
+                     drift_alpha;
+                   })
+            with Invalid_argument msg -> Error msg
+          in
+          match assessor with
+          | Error msg -> `Error (false, msg)
+          | Ok assessor ->
+              if metrics <> None then Obs.Metrics.set_enabled true;
+              let src = Evidence.Source.open_file file in
+              Fun.protect
+                ~finally:(fun () -> Evidence.Source.close src)
+                (fun () ->
+                  (* Single pass, bounded memory: at most one window (or one
+                     64k-line chunk) of the log is ever resident. *)
+                  let chunk = if window > 0 then window else 65536 in
+                  let rec drain () =
+                    let lines = ref [] in
+                    let n = ref 0 in
+                    let eof = ref false in
+                    while !n < chunk && not !eof do
+                      match Evidence.Source.next_line src with
+                      | Some line ->
+                          lines := line :: !lines;
+                          incr n
+                      | None -> eof := true
+                    done;
+                    if !n > 0 then begin
+                      Evidence.Assessor.ingest_batch assessor
+                        (List.rev !lines);
+                      if window > 0 && not json then begin
+                        let v = Evidence.Verdict.of_assessor assessor in
+                        let fleet = v.Evidence.Verdict.fleet in
+                        Printf.printf
+                          "interim @ %7d line(s): %-21s fleet %d/%d \
+                           failures/demands, P(pfd<=%g)=%.4f\n"
+                          (Evidence.Source.lines_read src)
+                          (Evidence.Verdict.overall_string
+                             v.Evidence.Verdict.overall)
+                          fleet.Evidence.Assessor.f_failures
+                          fleet.Evidence.Assessor.f_demands bound
+                          v.Evidence.Verdict.fleet_posterior
+                            .Evidence.Assessor.confidence_in_bound
+                      end;
+                      if not !eof then drain ()
+                    end
+                  in
+                  drain ());
+              let verdict = Evidence.Verdict.of_assessor assessor in
+              if json then
+                print_string (Evidence.Verdict.render_json verdict ^ "\n")
+              else print_string (Evidence.Verdict.render_text verdict);
+              Option.iter
+                (fun path -> write_file path (Obs.Metrics.render_json ()))
+                metrics;
+              if metrics <> None then Obs.Metrics.set_enabled false;
+              `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "evidence"
+       ~doc:
+         "Assess a JSONL run log as proven-in-use evidence: stream it in one \
+          pass, reconcile per-plant and fleet demand/failure counters, \
+          derive Bayesian posterior PFD bounds and a Wald accept/reject \
+          boundary over the aggregate, detect demand-profile drift against \
+          a declared profile, and print a verdict report (text or JSON). \
+          The final verdict depends only on the log's contents, never on \
+          how it was windowed.")
+    Term.(
+      ret
+        (const run $ runlog_arg $ window_arg $ json_arg $ theta0_arg
+       $ theta1_arg $ alpha_arg $ beta_arg $ prior_a_arg $ prior_b_arg
+       $ bound_arg $ confidence_arg $ profile_arg $ drift_alpha_arg
+       $ metrics_arg))
+
 let main =
   let doc =
     "Reproduction harness for Popov & Strigini, 'The Reliability of Diverse \
@@ -231,6 +439,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "divrel-experiments" ~doc)
-    [ list_cmd; run_cmd; all_cmd; check_cmd ]
+    [ list_cmd; run_cmd; all_cmd; check_cmd; evidence_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,340 @@
+(* Proven-in-use verdict reports.
+
+   A verdict is a snapshot of everything the assessor can claim from the
+   evidence ingested so far: operating demands and failures (per plant
+   and pooled), posterior PFD bounds, the aggregate Wald boundary state,
+   profile drift, and the bookkeeping an auditor needs (how many lines
+   were consumed, skipped, damaged). Constructing a verdict reads the
+   assessor's counters and derives everything else, so it never perturbs
+   the assessor — interim verdicts in windowed mode are free.
+
+   Rendering is deliberately timestamp-free: the JSON form contains no
+   wall-clock or rate data (those live in the Obs.Metrics snapshot), so
+   the final verdict for a given event multiset is byte-identical
+   however the stream was windowed. *)
+
+type overall = Accepted | Rejected | Insufficient
+
+type plant = {
+  plant : int;
+  demands : int;
+  failures : int;
+  posterior : Assessor.posterior;
+  wald : Assessor.wald;
+}
+
+type t = {
+  config : Assessor.config;
+  meta : Assessor.run_meta;
+  events : Assessor.event_counts;
+  plants : plant list;
+  fleet : Assessor.fleet_counts;
+  fleet_posterior : Assessor.posterior;
+  fleet_wald : Assessor.wald;
+  runner : Assessor.runner_counts;
+  sprt : Assessor.sprt_counts;
+  drift : Drift.result option;
+  overall : overall;
+  reconciled : bool;
+}
+
+let judge ~fleet_wald ~fleet_posterior ~(drift : Drift.result option)
+    ~(config : Assessor.config) ~demands =
+  let drift_alarm = match drift with Some d -> d.Drift.alarm | None -> false in
+  if demands = 0 then Insufficient
+  else if drift_alarm then Rejected
+  else
+    match fleet_wald.Assessor.w_decision with
+    | Schema.Reject -> Rejected
+    | Schema.Accept
+      when fleet_posterior.Assessor.confidence_in_bound >= config.confidence
+      ->
+        Accepted
+    | Schema.Accept | Schema.Undecided -> Insufficient
+
+let of_assessor a =
+  let config = Assessor.config a in
+  let fleet = Assessor.fleet_counts a in
+  let plants =
+    List.map
+      (fun (c : Assessor.plant_counts) ->
+        {
+          plant = c.Assessor.plant;
+          demands = c.Assessor.demands;
+          failures = c.Assessor.failures;
+          posterior =
+            Assessor.posterior_of_counts config ~demands:c.Assessor.demands
+              ~failures:c.Assessor.failures;
+          wald =
+            Assessor.wald_of_counts config ~demands:c.Assessor.demands
+              ~failures:c.Assessor.failures;
+        })
+      (Assessor.plant_counts a)
+  in
+  let fleet_posterior =
+    Assessor.posterior_of_counts config ~demands:fleet.Assessor.f_demands
+      ~failures:fleet.Assessor.f_failures
+  in
+  let fleet_wald =
+    Assessor.wald_of_counts config ~demands:fleet.Assessor.f_demands
+      ~failures:fleet.Assessor.f_failures
+  in
+  let drift = Assessor.drift a in
+  (match drift with
+  | Some d when d.Drift.alarm -> Assessor.record_drift_alarm ()
+  | _ -> ());
+  let reconciled =
+    (* The fleet.observe summary events agree with the plant events they
+       bracket: plant count and pooled failures match what the simulator
+       declared. Vacuously true without summary events. *)
+    fleet.Assessor.f_observes = 0
+    || fleet.Assessor.f_declared_plants = fleet.Assessor.f_plants
+       && fleet.Assessor.f_declared_failures = fleet.Assessor.f_failures
+  in
+  {
+    config;
+    meta = Assessor.run_meta a;
+    events = Assessor.event_counts a;
+    plants;
+    fleet;
+    fleet_posterior;
+    fleet_wald;
+    runner = Assessor.runner_counts a;
+    sprt = Assessor.sprt_counts a;
+    drift;
+    overall =
+      judge ~fleet_wald ~fleet_posterior ~drift ~config
+        ~demands:fleet.Assessor.f_demands;
+    reconciled;
+  }
+
+let overall_string = function
+  | Accepted -> "accepted"
+  | Rejected -> "rejected"
+  | Insufficient -> "insufficient-evidence"
+
+let decision_string = function
+  | Schema.Accept -> "accept"
+  | Schema.Reject -> "reject"
+  | Schema.Undecided -> "undecided"
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let json_posterior (p : Assessor.posterior) =
+  Obs.Json.Obj
+    [
+      ("mean", Obs.Json.Float p.Assessor.post_mean);
+      ("lo", Obs.Json.Float p.Assessor.post_lo);
+      ("hi", Obs.Json.Float p.Assessor.post_hi);
+      ("confidence_in_bound", Obs.Json.Float p.Assessor.confidence_in_bound);
+    ]
+
+let json_wald (w : Assessor.wald) =
+  Obs.Json.Obj
+    [
+      ("decision", Obs.Json.String (decision_string w.Assessor.w_decision));
+      ("log_lr", Obs.Json.Float w.Assessor.w_log_lr);
+      ("log_a", Obs.Json.Float w.Assessor.w_log_a);
+      ("log_b", Obs.Json.Float w.Assessor.w_log_b);
+    ]
+
+let json_opt_int = function
+  | Some i -> Obs.Json.Int i
+  | None -> Obs.Json.Null
+
+let to_json v =
+  let config = v.config in
+  let plant p =
+    Obs.Json.Obj
+      [
+        ("plant", Obs.Json.Int p.plant);
+        ("demands", Obs.Json.Int p.demands);
+        ("failures", Obs.Json.Int p.failures);
+        ("posterior", json_posterior p.posterior);
+        ("wald", json_wald p.wald);
+      ]
+  in
+  let drift =
+    match v.drift with
+    | None -> Obs.Json.Null
+    | Some d ->
+        Obs.Json.Obj
+          [
+            ("total", Obs.Json.Int d.Drift.total);
+            ("chi_square", Obs.Json.Float d.Drift.chi_square);
+            ("dof", Obs.Json.Int d.Drift.dof);
+            ("p_value", Obs.Json.Float d.Drift.p_value);
+            ("kl_divergence", Obs.Json.Float d.Drift.kl_divergence);
+            ("impossible", Obs.Json.Int d.Drift.impossible);
+            ("alarm", Obs.Json.Bool d.Drift.alarm);
+          ]
+  in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "divrel-evidence/1");
+      ("verdict", Obs.Json.String (overall_string v.overall));
+      ( "config",
+        Obs.Json.Obj
+          [
+            ("theta0", Obs.Json.Float config.Assessor.theta0);
+            ("theta1", Obs.Json.Float config.Assessor.theta1);
+            ("alpha", Obs.Json.Float config.Assessor.alpha);
+            ("beta", Obs.Json.Float config.Assessor.beta);
+            ("prior_a", Obs.Json.Float config.Assessor.prior_a);
+            ("prior_b", Obs.Json.Float config.Assessor.prior_b);
+            ("bound", Obs.Json.Float config.Assessor.bound);
+            ("confidence", Obs.Json.Float config.Assessor.confidence);
+            ("drift_alpha", Obs.Json.Float config.Assessor.drift_alpha);
+            ( "declared_profile_size",
+              match config.Assessor.expected_profile with
+              | Some p -> Obs.Json.Int (Array.length p)
+              | None -> Obs.Json.Null );
+          ] )
+      ;
+      ( "run",
+        Obs.Json.Obj
+          [
+            ("starts", Obs.Json.Int v.meta.Assessor.starts);
+            ("ends", Obs.Json.Int v.meta.Assessor.ends);
+            ("seed", json_opt_int v.meta.Assessor.seed);
+            ("shards", json_opt_int v.meta.Assessor.shards);
+            ( "target",
+              match v.meta.Assessor.target with
+              | Some s -> Obs.Json.String s
+              | None -> Obs.Json.Null );
+          ] );
+      ( "events",
+        Obs.Json.Obj
+          [
+            ("accepted", Obs.Json.Int v.events.Assessor.e_accepted);
+            ("skipped", Obs.Json.Int v.events.Assessor.e_skipped_total);
+            ("malformed", Obs.Json.Int v.events.Assessor.e_malformed);
+            ( "skipped_kinds",
+              Obs.Json.Obj
+                (List.map
+                   (fun (kind, n) -> (kind, Obs.Json.Int n))
+                   v.events.Assessor.e_skipped) );
+          ] );
+      ( "fleet",
+        Obs.Json.Obj
+          [
+            ("plants", Obs.Json.Int v.fleet.Assessor.f_plants);
+            ("demands", Obs.Json.Int v.fleet.Assessor.f_demands);
+            ("failures", Obs.Json.Int v.fleet.Assessor.f_failures);
+            ("reconciled", Obs.Json.Bool v.reconciled);
+            ("posterior", json_posterior v.fleet_posterior);
+            ("wald", json_wald v.fleet_wald);
+          ] );
+      ("plants", Obs.Json.List (List.map plant v.plants));
+      ( "runner",
+        Obs.Json.Obj
+          [
+            ("runs", Obs.Json.Int v.runner.Assessor.r_runs);
+            ("demands", Obs.Json.Int v.runner.Assessor.r_demands);
+            ("failures", Obs.Json.Int v.runner.Assessor.r_failures);
+            ("coincident", Obs.Json.Int v.runner.Assessor.r_coincident);
+            ("rng_draws", Obs.Json.Int v.runner.Assessor.r_rng_draws);
+          ] );
+      ( "sprt",
+        Obs.Json.Obj
+          [
+            ("accepts", Obs.Json.Int v.sprt.Assessor.s_accepts);
+            ("rejects", Obs.Json.Int v.sprt.Assessor.s_rejects);
+            ("undecided", Obs.Json.Int v.sprt.Assessor.s_undecided);
+            ("demands", Obs.Json.Int v.sprt.Assessor.s_demands);
+            ("failures", Obs.Json.Int v.sprt.Assessor.s_failures);
+          ] );
+      ("drift", drift);
+    ]
+
+let render_json v = Obs.Json.render (to_json v)
+
+(* ------------------------------------------------------------------ *)
+(* Text                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let render_text ?(plant_limit = 16) v =
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let config = v.config in
+  pf "proven-in-use verdict: %s\n" (overall_string v.overall);
+  pf "  hypotheses: accept PFD <= %g, reject PFD >= %g (alpha=%g, beta=%g)\n"
+    config.Assessor.theta0 config.Assessor.theta1 config.Assessor.alpha
+    config.Assessor.beta;
+  pf "  prior Beta(%g, %g); reporting %g%% posterior interval, bound %g\n"
+    config.Assessor.prior_a config.Assessor.prior_b
+    (100.0 *. config.Assessor.confidence)
+    config.Assessor.bound;
+  (match v.meta.Assessor.seed with
+  | Some seed ->
+      pf "  source run: target=%s seed=%d shards=%s (%d start / %d end)\n"
+        (Option.value ~default:"?" v.meta.Assessor.target)
+        seed
+        (match v.meta.Assessor.shards with
+        | Some s -> string_of_int s
+        | None -> "?")
+        v.meta.Assessor.starts v.meta.Assessor.ends
+  | None -> ());
+  pf "  events: %d consumed, %d skipped, %d malformed\n"
+    v.events.Assessor.e_accepted v.events.Assessor.e_skipped_total
+    v.events.Assessor.e_malformed;
+  List.iter
+    (fun (kind, n) -> pf "    skipped kind %-20s %d\n" kind n)
+    v.events.Assessor.e_skipped;
+  pf "  fleet: %d plants, %d demands, %d failures%s\n"
+    v.fleet.Assessor.f_plants v.fleet.Assessor.f_demands
+    v.fleet.Assessor.f_failures
+    (if v.reconciled then "" else "  [NOT RECONCILED with fleet.observe]");
+  pf "    posterior PFD: mean %.3g, %g%% interval [%.3g, %.3g], P(<=%g) = %.4f\n"
+    v.fleet_posterior.Assessor.post_mean
+    (100.0 *. config.Assessor.confidence)
+    v.fleet_posterior.Assessor.post_lo v.fleet_posterior.Assessor.post_hi
+    config.Assessor.bound
+    v.fleet_posterior.Assessor.confidence_in_bound;
+  pf "    wald boundary: %s (log LR %.3f; accept <= %.3f, reject >= %.3f)\n"
+    (decision_string v.fleet_wald.Assessor.w_decision)
+    v.fleet_wald.Assessor.w_log_lr v.fleet_wald.Assessor.w_log_b
+    v.fleet_wald.Assessor.w_log_a;
+  (match v.drift with
+  | None -> pf "  drift: no declared profile (detection disabled)\n"
+  | Some d ->
+      pf
+        "  drift: %s — chi2 %.3f (dof %d, p %.3g), KL %.3g, %d impossible \
+         demand(s) over %d demands\n"
+        (if d.Drift.alarm then "ALARM" else "stable")
+        d.Drift.chi_square d.Drift.dof d.Drift.p_value d.Drift.kl_divergence
+        d.Drift.impossible d.Drift.total);
+  if v.runner.Assessor.r_runs > 0 then
+    pf "  runner: %d runs, %d demands, %d failures (%d coincident), %d draws\n"
+      v.runner.Assessor.r_runs v.runner.Assessor.r_demands
+      v.runner.Assessor.r_failures v.runner.Assessor.r_coincident
+      v.runner.Assessor.r_rng_draws;
+  if
+    v.sprt.Assessor.s_accepts + v.sprt.Assessor.s_rejects
+    + v.sprt.Assessor.s_undecided
+    > 0
+  then
+    pf "  sprt decisions: %d accept, %d reject, %d undecided (%d demands)\n"
+      v.sprt.Assessor.s_accepts v.sprt.Assessor.s_rejects
+      v.sprt.Assessor.s_undecided v.sprt.Assessor.s_demands;
+  let n_plants = List.length v.plants in
+  let shown = min plant_limit n_plants in
+  if n_plants > 0 then begin
+    pf "  per-plant evidence (%d of %d):\n" shown n_plants;
+    pf "    %6s %10s %9s %10s %22s %9s\n" "plant" "demands" "failures"
+      "post.mean" "interval" "wald";
+    List.iteri
+      (fun i p ->
+        if i < plant_limit then
+          pf "    %6d %10d %9d %10.3g [%9.3g, %9.3g] %9s\n" p.plant p.demands
+            p.failures p.posterior.Assessor.post_mean
+            p.posterior.Assessor.post_lo p.posterior.Assessor.post_hi
+            (decision_string p.wald.Assessor.w_decision))
+      v.plants;
+    if n_plants > plant_limit then
+      pf "    ... %d more plant(s) elided (full detail in the JSON verdict)\n"
+        (n_plants - plant_limit)
+  end;
+  Buffer.contents b

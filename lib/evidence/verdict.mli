@@ -1,0 +1,59 @@
+(** Proven-in-use verdict reports.
+
+    A verdict snapshots everything the assessor can claim from the
+    evidence ingested so far. Construction is read-only on the assessor,
+    so interim (windowed) verdicts are free, and rendering contains no
+    timestamps or rates: the verdict for a given multiset of events is
+    byte-identical however the stream was windowed. *)
+
+type overall =
+  | Accepted
+      (** Wald boundary accepts, the posterior puts at least the
+          configured confidence below the PFD bound, and no drift
+          alarm. *)
+  | Rejected  (** Wald boundary rejects, or the drift detector alarms. *)
+  | Insufficient  (** anything else: keep collecting evidence *)
+
+type plant = {
+  plant : int;
+  demands : int;
+  failures : int;
+  posterior : Assessor.posterior;
+  wald : Assessor.wald;
+}
+
+type t = {
+  config : Assessor.config;
+  meta : Assessor.run_meta;
+  events : Assessor.event_counts;
+  plants : plant list;  (** sorted by plant id *)
+  fleet : Assessor.fleet_counts;
+  fleet_posterior : Assessor.posterior;
+  fleet_wald : Assessor.wald;
+  runner : Assessor.runner_counts;
+  sprt : Assessor.sprt_counts;
+  drift : Drift.result option;
+  overall : overall;
+  reconciled : bool;
+      (** fleet.observe summaries agree with the pooled fleet.plant
+          counters (vacuously true when no summary events were seen) *)
+}
+
+val of_assessor : Assessor.t -> t
+(** Derive a verdict from the assessor's current counters. Bumps the
+    [evidence.drift_alarms] metric when the drift detector is alarming;
+    otherwise read-only. *)
+
+val overall_string : overall -> string
+
+val decision_string : Schema.sprt_outcome -> string
+
+val to_json : t -> Obs.Json.t
+(** Deterministic: no timestamps, rates or host data. Schema
+    ["divrel-evidence/1"]. *)
+
+val render_json : t -> string
+
+val render_text : ?plant_limit:int -> t -> string
+(** Human-readable report; at most [plant_limit] (default 16) per-plant
+    rows, with the rest elided (the JSON form always carries all). *)

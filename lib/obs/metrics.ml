@@ -197,6 +197,22 @@ let reset_values () =
           h.max_seen <- neg_infinity)
     !registry
 
+(* The quantiles every histogram summarises with, in text and JSON
+   rendering alike: median plus the two tail percentiles operators
+   actually alert on. Bucket-resolution estimates (see {!quantile}). *)
+let summary_quantiles = [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ]
+
+let quantile_summary_text h =
+  if h.total = 0 then ""
+  else
+    String.concat ""
+      (List.map
+         (fun (label, q) ->
+           match quantile h q with
+           | Some v -> Printf.sprintf " %s=%.3g" label v
+           | None -> "")
+         summary_quantiles)
+
 let render_text () =
   let buf = Buffer.create 1024 in
   List.iter
@@ -211,8 +227,8 @@ let render_text () =
             | None -> Printf.sprintf "gauge %s unset\n" g.g_name)
       | Histogram h ->
           Buffer.add_string buf
-            (Printf.sprintf "histogram %s count=%d sum=%.6g\n" h.h_name h.total
-               h.sum);
+            (Printf.sprintf "histogram %s count=%d sum=%.6g%s\n" h.h_name
+               h.total h.sum (quantile_summary_text h));
           Array.iter
             (fun (lo, hi, n) ->
               if n > 0 then
@@ -255,17 +271,23 @@ let snapshot () =
                             ]))
             in
             let stat f = match f with Some v -> Json.Float v | None -> Json.Null in
+            let quantile_fields =
+              List.map
+                (fun (label, q) -> (label, stat (quantile h q)))
+                summary_quantiles
+            in
             ( cs,
               gs,
               Json.Obj
-                [
-                  ("name", Json.String h.h_name);
-                  ("count", Json.Int h.total);
-                  ("sum", Json.Float h.sum);
-                  ("min", stat (histogram_min h));
-                  ("max", stat (histogram_max h));
-                  ("buckets", Json.List bucket_items);
-                ]
+                ([
+                   ("name", Json.String h.h_name);
+                   ("count", Json.Int h.total);
+                   ("sum", Json.Float h.sum);
+                   ("min", stat (histogram_min h));
+                   ("max", stat (histogram_max h));
+                 ]
+                @ quantile_fields
+                @ [ ("buckets", Json.List bucket_items) ])
               :: hs ))
       ([], [], []) !registry
   in

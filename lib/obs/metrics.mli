@@ -79,11 +79,15 @@ val reset_values : unit -> unit
 
 val render_text : unit -> string
 (** One line per counter/gauge plus per-histogram bucket lines, in
-    registration order. *)
+    registration order. Non-empty histogram lines carry a
+    [p50=... p95=... p99=...] quantile summary (bucket-resolution
+    estimates from {!quantile}). *)
 
 val snapshot : unit -> Json.t
 (** The full registry as JSON: [{"counters": [...], "gauges": [...],
-    "histograms": [...]}] in registration order. *)
+    "histograms": [...]}] in registration order. Each histogram object
+    carries [p50]/[p95]/[p99] fields ([null] while empty) alongside
+    [count], [sum], [min], [max] and the bucket list. *)
 
 val render_json : unit -> string
 (** [Json.render (snapshot ())]. *)

@@ -100,7 +100,7 @@ let observe ?pool ?shards rng systems ~demands_per_plant =
       Obs.Metrics.observe h_plant_pfd record.system_pfd;
       Obs.Metrics.observe h_plant_failures (float_of_int record.failures))
     records;
-  if Obs.Runlog.active () then
+  if Obs.Runlog.active () then begin
     Obs.Runlog.record_all ~kind:"fleet.plant"
       (List.mapi
          (fun plant record ->
@@ -111,6 +111,19 @@ let observe ?pool ?shards rng systems ~demands_per_plant =
              ("true_pfd", Obs.Json.Float record.system_pfd);
            ])
          (Array.to_list records));
+    (* Observation summary, recorded after the per-plant events: the
+       declared fleet size lets an offline assessor (lib/evidence)
+       reconcile the plant events it actually saw against what the
+       simulator claims to have observed. *)
+    Obs.Runlog.record ~kind:"fleet.observe"
+      [
+        ("plants", Obs.Json.Int (Array.length records));
+        ("demands_per_plant", Obs.Json.Int demands_per_plant);
+        ("failures", Obs.Json.Int
+           (Array.fold_left (fun acc r -> acc + r.failures) 0 records));
+        ("shards", Obs.Json.Int shards);
+      ]
+  end;
   Obs.Trace.leave span;
   { records }
 

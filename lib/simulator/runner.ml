@@ -50,6 +50,15 @@ let run ?(log = false) rng ~system ~demand_count =
   let coincident = ref 0 in
   let space = Protection.space system in
   let plant = Plant.create ~profile:(Demandspace.Space.profile space) rng in
+  (* Per-demand-id counts for the run-log event's [demand_hist] field —
+     the raw material of proven-in-use profile-drift detection
+     (lib/evidence). Only accumulated while a run log is installed: the
+     disabled path allocates nothing and pays one branch per demand. *)
+  let log_hist = Obs.Runlog.active () in
+  let hist =
+    if log_hist then Array.make (Demandspace.Space.size space) 0
+    else [||]
+  in
   let block = Array.make (min sample_block demand_count) 0 in
   let step = ref 0 in
   while !step < demand_count do
@@ -57,6 +66,7 @@ let run ?(log = false) rng ~system ~demand_count =
     Plant.sample_demands_into plant block ~n;
     for i = 0 to n - 1 do
       let id = Array.unsafe_get block i in
+      if log_hist then hist.(id) <- hist.(id) + 1;
       let n_failed = ref 0 in
       for c = 0 to n_channels - 1 do
         if Bitset.mem (Array.unsafe_get failure_sets c) id then begin
@@ -86,7 +96,21 @@ let run ?(log = false) rng ~system ~demand_count =
   Obs.Metrics.add m_coincident !coincident;
   Obs.Metrics.set g_estimated_pfd estimated_pfd;
   Obs.Metrics.observe h_estimated_pfd estimated_pfd;
-  if Obs.Runlog.active () then
+  if Obs.Runlog.active () then begin
+    (* Sparse empirical demand histogram, ascending id: the pairs
+       [[id, count], ...] for every demand id this run actually hit.
+       lib/evidence compares the accumulated histogram against the
+       declared operational profile (chi-square / KL drift). *)
+    let demand_hist =
+      let pairs = ref [] in
+      for id = Array.length hist - 1 downto 0 do
+        if hist.(id) > 0 then
+          pairs :=
+            Obs.Json.List [ Obs.Json.Int id; Obs.Json.Int hist.(id) ]
+            :: !pairs
+      done;
+      Obs.Json.List !pairs
+    in
     Obs.Runlog.record ~kind:"runner.run"
       [
         ("demands", Obs.Json.Int demand_count);
@@ -96,7 +120,9 @@ let run ?(log = false) rng ~system ~demand_count =
         (* Draws made by THIS run — the delta across the call, not the
            generator's lifetime total (shared generators run many runs). *)
         ("rng_draws", Obs.Json.Int (Rng.draws rng - draws0));
-      ];
+        ("demand_hist", demand_hist);
+      ]
+  end;
   Obs.Trace.leave span;
   {
     demands = demand_count;

@@ -104,6 +104,11 @@ let run rng ~system ~theta0 ~theta1 ~alpha ~beta ~max_demands =
          ("demands", Obs.Json.Int t.demands);
          ("failures", Obs.Json.Int t.failures);
          ("log_lr", Obs.Json.Float t.log_lr);
+         (* The hypotheses under test, so an offline assessor can check a
+            logged decision against its own aggregated Wald boundary
+            (lib/evidence) without out-of-band configuration. *)
+         ("theta0", Obs.Json.Float t.theta0);
+         ("theta1", Obs.Json.Float t.theta1);
        ]);
   Obs.Trace.leave span;
   result

@@ -1,0 +1,565 @@
+(* lib/evidence end to end: the streaming proven-in-use assessor.
+
+   The load-bearing property is that the final verdict is a pure
+   function of the run log's contents — any windowing of the stream
+   (window size 1, 64, random split points, one batch) renders byte
+   for byte the same verdict — and that the assessor's counters
+   reconcile exactly with what Fleet.observe reports for the same
+   seed. The CLI verb is smoke-tested through the real executable. *)
+
+module Assessor = Evidence.Assessor
+module Verdict = Evidence.Verdict
+module Drift = Evidence.Drift
+module Schema = Evidence.Schema
+module Source = Evidence.Source
+module Runlog = Obs.Runlog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: a small logged fleet campaign                             *)
+(* ------------------------------------------------------------------ *)
+
+let small_space () =
+  let size = 64 in
+  let faults =
+    [|
+      (Demandspace.Region.interval ~space_size:size ~lo:3 ~hi:6, 0.4);
+      (Demandspace.Region.interval ~space_size:size ~lo:20 ~hi:24, 0.3);
+      (Demandspace.Region.interval ~space_size:size ~lo:40 ~hi:41, 0.5);
+    |]
+  in
+  Demandspace.Space.create
+    ~profile:(Demandspace.Profile.uniform ~size)
+    ~faults
+
+(* Deploy and observe a fleet with the run-log sink active, exactly as
+   the CLI does with --log, and return the captured log next to the
+   in-process observation for reconciliation. ~shards:1 keeps the event
+   order deterministic (sharded observation records runner.run events
+   from worker domains). *)
+let fleet_log ~seed ~plants ~demands_per_plant =
+  let space = small_space () in
+  let rng = Numerics.Rng.create ~seed in
+  let log = Runlog.create () in
+  Runlog.set_sink (Some log);
+  let fleet =
+    Fun.protect
+      ~finally:(fun () -> Runlog.set_sink None)
+      (fun () ->
+        Runlog.record ~kind:"run.start"
+          [
+            ("target", Obs.Json.String "test.fleet");
+            ("seed", Obs.Json.Int seed);
+            ("shards", Obs.Json.Int 1);
+          ];
+        let systems = Simulator.Fleet.deploy_pairs ~shards:1 rng space ~plants in
+        let fleet =
+          Simulator.Fleet.observe ~shards:1 rng systems ~demands_per_plant
+        in
+        Runlog.record ~kind:"run.end"
+          [
+            ("target", Obs.Json.String "test.fleet");
+            ("seed", Obs.Json.Int seed);
+            ("shards", Obs.Json.Int 1);
+            ("rng_draws", Obs.Json.Int (Numerics.Rng.total_draws ()));
+            ("duration_ns", Obs.Json.Int 0);
+          ];
+        fleet)
+  in
+  (log, fleet)
+
+let log_lines log =
+  Runlog.to_jsonl log |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+
+let uniform_profile size =
+  Demandspace.Profile.probabilities (Demandspace.Profile.uniform ~size)
+
+let config_with_profile () =
+  {
+    Assessor.default_config with
+    Assessor.expected_profile = Some (uniform_profile 64);
+  }
+
+let verdict_of_lines config lines =
+  let a = Assessor.create config in
+  List.iter (Assessor.ingest_line a) lines;
+  Verdict.render_json (Verdict.of_assessor a)
+
+(* ------------------------------------------------------------------ *)
+(* Windowed streaming == batch                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_windowed_equals_batch () =
+  let log, _fleet = fleet_log ~seed:11 ~plants:6 ~demands_per_plant:300 in
+  let lines = log_lines log in
+  let n = List.length lines in
+  let config = config_with_profile () in
+  let batch = verdict_of_lines config lines in
+  let windowed w =
+    let a = Assessor.create config in
+    let rec go = function
+      | [] -> ()
+      | rest ->
+          let take = min w (List.length rest) in
+          let window = List.filteri (fun i _ -> i < take) rest in
+          let rest = List.filteri (fun i _ -> i >= take) rest in
+          Assessor.ingest_batch a window;
+          (* interim verdicts must not perturb the final one *)
+          ignore (Verdict.of_assessor a);
+          go rest
+    in
+    go lines;
+    Verdict.render_json (Verdict.of_assessor a)
+  in
+  Prop.check ~cases:30 "windowed streaming == batch"
+    (Prop.int_range 1 n)
+    (fun w ->
+      let v = windowed w in
+      if v <> batch then
+        Alcotest.failf "window %d diverges from the batch verdict" w)
+
+let test_random_split_points () =
+  let log, _fleet = fleet_log ~seed:12 ~plants:5 ~demands_per_plant:250 in
+  let lines = Array.of_list (log_lines log) in
+  let n = Array.length lines in
+  let config = config_with_profile () in
+  let batch = verdict_of_lines config (Array.to_list lines) in
+  Prop.check ~cases:30 "any split points == batch"
+    (Prop.pair (Prop.int_range 0 n) (Prop.int_range 0 n))
+    (fun (i, j) ->
+      let lo = min i j and hi = max i j in
+      let slice a b = Array.to_list (Array.sub lines a (b - a)) in
+      let a = Assessor.create config in
+      Assessor.ingest_batch a (slice 0 lo);
+      Assessor.ingest_batch a (slice lo hi);
+      Assessor.ingest_batch a (slice hi n);
+      let v = Verdict.render_json (Verdict.of_assessor a) in
+      if v <> batch then
+        Alcotest.failf "splits (%d, %d) diverge from the batch verdict" lo hi)
+
+(* ------------------------------------------------------------------ *)
+(* Reconciliation with Fleet.observe                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_reconciles_with_fleet_observe () =
+  let plants = 7 and demands_per_plant = 400 in
+  let log, fleet = fleet_log ~seed:42 ~plants ~demands_per_plant in
+  let a = Assessor.create (config_with_profile ()) in
+  Assessor.ingest_runlog a log;
+  let fc = Assessor.fleet_counts a in
+  check_int "plants" plants fc.Assessor.f_plants;
+  check_int "fleet demands" (plants * demands_per_plant) fc.Assessor.f_demands;
+  check_int "fleet failures"
+    (Simulator.Fleet.total_failures fleet)
+    fc.Assessor.f_failures;
+  let records = Simulator.Fleet.records fleet in
+  let per_plant = Assessor.plant_counts a in
+  check_int "one entry per plant" plants (List.length per_plant);
+  List.iteri
+    (fun i (c : Assessor.plant_counts) ->
+      check_int (Printf.sprintf "plant %d id" i) i c.Assessor.plant;
+      check_int
+        (Printf.sprintf "plant %d demands" i)
+        records.(i).Simulator.Fleet.demands c.Assessor.demands;
+      check_int
+        (Printf.sprintf "plant %d failures" i)
+        records.(i).Simulator.Fleet.failures c.Assessor.failures)
+    per_plant;
+  (* runner.run events cover the same campaign: totals agree *)
+  let rc = Assessor.runner_counts a in
+  check_int "runner demands" fc.Assessor.f_demands rc.Assessor.r_demands;
+  check_int "runner failures" fc.Assessor.f_failures rc.Assessor.r_failures;
+  (* the demand histogram accounts for every demand *)
+  let hist_total = Array.fold_left ( + ) 0 (Assessor.demand_counts a) in
+  check_int "demand histogram total" fc.Assessor.f_demands hist_total;
+  let v = Verdict.of_assessor a in
+  check_bool "verdict reconciled against fleet.observe" true
+    v.Verdict.reconciled;
+  check_int "no skipped events" 0 v.Verdict.events.Assessor.e_skipped_total;
+  check_int "no malformed lines" 0 v.Verdict.events.Assessor.e_malformed
+
+(* ------------------------------------------------------------------ *)
+(* Drift detection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sampled_counts profile ~size ~seed ~n =
+  let rng = Numerics.Rng.create ~seed in
+  let counts = Array.make size 0 in
+  let buf = Array.make n 0 in
+  Demandspace.Profile.sample_many profile rng buf ~n;
+  Array.iter (fun id -> counts.(id) <- counts.(id) + 1) buf;
+  counts
+
+let test_drift_true_negative () =
+  (* Evidence really drawn from the declared profile: no alarm. *)
+  let size = 200 in
+  let uniform = Demandspace.Profile.uniform ~size in
+  let counts = sampled_counts uniform ~size ~seed:7 ~n:20_000 in
+  let r =
+    Drift.assess
+      ~expected:(Demandspace.Profile.probabilities uniform)
+      ~counts ~alpha:1e-3
+  in
+  check_bool
+    (Printf.sprintf "no alarm on matching profile (p=%g)" r.Drift.p_value)
+    false r.Drift.alarm;
+  check_int "no impossible demands" 0 r.Drift.impossible
+
+let test_drift_true_positive () =
+  (* Evidence drawn from a zipf profile, declared uniform: alarm. *)
+  let size = 200 in
+  let zipf = Demandspace.Profile.zipf ~size ~exponent:1.2 in
+  let counts = sampled_counts zipf ~size ~seed:7 ~n:20_000 in
+  let r =
+    Drift.assess
+      ~expected:(Demandspace.Profile.probabilities
+                   (Demandspace.Profile.uniform ~size))
+      ~counts ~alpha:1e-3
+  in
+  check_bool
+    (Printf.sprintf "alarm on drifted profile (p=%g)" r.Drift.p_value)
+    true r.Drift.alarm
+
+let test_drift_impossible_demands () =
+  (* Demands where the declared profile has zero mass always alarm,
+     with finite statistics. *)
+  let expected = [| 0.5; 0.5; 0.0 |] in
+  let counts = [| 40; 45; 5 |] in
+  let r = Drift.assess ~expected ~counts ~alpha:1e-3 in
+  check_int "impossible demands counted" 5 r.Drift.impossible;
+  check_bool "alarm" true r.Drift.alarm;
+  check_bool "statistics stay finite" true
+    (Float.is_finite r.Drift.chi_square && Float.is_finite r.Drift.p_value
+   && Float.is_finite r.Drift.kl_divergence)
+
+let test_drift_alarm_rejects_verdict () =
+  (* End to end: a fleet log assessed under the wrong declared profile
+     is rejected for drift regardless of its failure record. *)
+  let log, _fleet = fleet_log ~seed:13 ~plants:6 ~demands_per_plant:2_000 in
+  let config =
+    {
+      Assessor.default_config with
+      Assessor.expected_profile =
+        Some
+          (Demandspace.Profile.probabilities
+             (Demandspace.Profile.peaked ~size:64 ~peak:0 ~mass:0.9));
+    }
+  in
+  let a = Assessor.create config in
+  Assessor.ingest_runlog a log;
+  let v = Verdict.of_assessor a in
+  (match v.Verdict.drift with
+  | Some d -> check_bool "drift alarm raised" true d.Drift.alarm
+  | None -> Alcotest.fail "drift detection should be enabled");
+  check_string "verdict rejected" "rejected"
+    (Verdict.overall_string v.Verdict.overall)
+
+(* ------------------------------------------------------------------ *)
+(* Schema robustness                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_malformed_and_skipped () =
+  let a = Assessor.create Assessor.default_config in
+  Assessor.ingest_line a "this is not json";
+  Assessor.ingest_line a "{\"event\":\"mystery.kind\",\"x\":1}";
+  Assessor.ingest_line a "{\"event\":\"mystery.kind\"}";
+  Assessor.ingest_line a "{\"no_event_field\":true}";
+  (* well-formed JSON, out-of-range values: counted as malformed *)
+  Assessor.ingest_line a
+    "{\"event\":\"fleet.plant\",\"plant\":0,\"demands\":10,\"failures\":11,\"true_pfd\":0.1}";
+  Assessor.ingest_line a
+    "{\"event\":\"fleet.plant\",\"plant\":1,\"demands\":10,\"failures\":2,\"true_pfd\":0.1}";
+  let e = Assessor.event_counts a in
+  check_int "one event consumed" 1 e.Assessor.e_accepted;
+  check_int "unknown kinds counted, not fatal" 2 e.Assessor.e_skipped_total;
+  check_bool "skipped kinds tallied by name" true
+    (List.assoc_opt "mystery.kind" e.Assessor.e_skipped = Some 2);
+  check_int "malformed lines counted" 3 e.Assessor.e_malformed;
+  let fc = Assessor.fleet_counts a in
+  check_int "only the valid plant landed" 10 fc.Assessor.f_demands
+
+let test_schema_parse () =
+  (match
+     Schema.parse_line
+       "{\"event\":\"sprt.decision\",\"decision\":\"accept\",\"demands\":5,\"failures\":0,\"log_lr\":-4.7}"
+   with
+  | Schema.Event
+      (Schema.Sprt_decision { decision; demands; failures = _; log_lr = _ }) ->
+      check_bool "decision" true (decision = Schema.Accept);
+      check_int "demands" 5 demands
+  | _ -> Alcotest.fail "sprt.decision should parse");
+  (match Schema.parse_line "{\"event\":\"campaign.mission\",\"missions\":3}" with
+  | Schema.Skipped kind -> check_string "skip kind" "campaign.mission" kind
+  | _ -> Alcotest.fail "unknown kind should be Skipped");
+  match Schema.parse_line "{\"event\":42}" with
+  | Schema.Malformed _ -> ()
+  | _ -> Alcotest.fail "non-string event should be Malformed"
+
+(* ------------------------------------------------------------------ *)
+(* File sources: streaming writer, cursor, resume                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "evidence_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_streaming_writer () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let log = Runlog.create_streaming oc in
+      Runlog.set_sink (Some log);
+      Fun.protect
+        ~finally:(fun () -> Runlog.set_sink None)
+        (fun () ->
+          Runlog.record ~kind:"alpha" [ ("x", Obs.Json.Int 1) ];
+          Runlog.record ~kind:"beta" [];
+          Runlog.record ~kind:"gamma" [ ("y", Obs.Json.Float 0.5) ]);
+      close_out oc;
+      check_int "streaming log counts events" 3 (Runlog.size log);
+      (* the in-memory accessors refuse: events went straight to disk *)
+      (try
+         ignore (Runlog.to_jsonl log);
+         Alcotest.fail "to_jsonl should refuse on a streaming log"
+       with Invalid_argument _ -> ());
+      let ic = open_in path in
+      let lines = ref [] in
+      let rec read () =
+        match Runlog.input_line_opt ic with
+        | Some l ->
+            lines := l :: !lines;
+            read ()
+        | None -> ()
+      in
+      read ();
+      close_in ic;
+      let lines = List.rev !lines in
+      check_int "one line per event" 3 (List.length lines);
+      List.iter
+        (fun line ->
+          match Obs.Json.parse line with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "invalid JSONL line (%s): %s" e line)
+        lines)
+
+let test_file_matches_memory () =
+  let log, _fleet = fleet_log ~seed:17 ~plants:4 ~demands_per_plant:150 in
+  let config = config_with_profile () in
+  let from_memory =
+    let a = Assessor.create config in
+    Assessor.ingest_runlog a log;
+    Verdict.render_json (Verdict.of_assessor a)
+  in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      Runlog.output_jsonl log oc;
+      close_out oc;
+      let a = Assessor.create config in
+      let src = Source.open_file path in
+      Fun.protect
+        ~finally:(fun () -> Source.close src)
+        (fun () -> Source.iter_lines src ~f:(Assessor.ingest_line a));
+      check_string "file ingest == in-memory ingest" from_memory
+        (Verdict.render_json (Verdict.of_assessor a)))
+
+let test_source_resume () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      for i = 1 to 5 do
+        Printf.fprintf oc "{\"event\":\"line\",\"i\":%d}\n" i
+      done;
+      close_out oc;
+      let src = Source.open_file path in
+      let line1 = Source.next_line src in
+      let _line2 = Source.next_line src in
+      let offset = Source.offset src in
+      let rest cursor =
+        let out = ref [] in
+        Source.iter_lines cursor ~f:(fun l -> out := l :: !out);
+        List.rev !out
+      in
+      let tail_first = rest src in
+      check_int "read the tail" 3 (List.length tail_first);
+      Source.close src;
+      (* a fresh cursor resumed at the saved offset sees the same tail *)
+      let src2 = Source.open_file path in
+      Source.resume src2 ~offset;
+      let tail_resumed = rest src2 in
+      Source.close src2;
+      check_bool "first line read" true (line1 <> None);
+      check_bool "resumed tail identical" true (tail_first = tail_resumed))
+
+(* ------------------------------------------------------------------ *)
+(* Wald boundary and posterior sanity                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_wald_of_counts () =
+  let c = Assessor.default_config in
+  let w0 = Assessor.wald_of_counts c ~demands:0 ~failures:0 in
+  check_bool "no evidence: undecided" true
+    (w0.Assessor.w_decision = Schema.Undecided);
+  let accept = Assessor.wald_of_counts c ~demands:10_000 ~failures:0 in
+  check_bool "clean record accepts" true
+    (accept.Assessor.w_decision = Schema.Accept);
+  let reject = Assessor.wald_of_counts c ~demands:1_000 ~failures:50 in
+  check_bool "bad record rejects" true
+    (reject.Assessor.w_decision = Schema.Reject);
+  check_bool "boundaries ordered" true
+    (accept.Assessor.w_log_b < accept.Assessor.w_log_a)
+
+let test_posterior_of_counts () =
+  let c = Assessor.default_config in
+  let p = Assessor.posterior_of_counts c ~demands:5_000 ~failures:5 in
+  check_bool "interval ordered" true
+    (p.Assessor.post_lo <= p.Assessor.post_mean
+    && p.Assessor.post_mean <= p.Assessor.post_hi);
+  check_bool "mean near the empirical rate" true
+    (p.Assessor.post_mean > 5e-4 && p.Assessor.post_mean < 3e-3);
+  check_bool "confidence in 1e-2 bound is high" true
+    (p.Assessor.confidence_in_bound > 0.99)
+
+(* ------------------------------------------------------------------ *)
+(* Golden verdict pin (seed 42)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let golden_path = "golden/evidence_seed42.json"
+
+let test_golden_verdict () =
+  let log, _fleet = fleet_log ~seed:42 ~plants:4 ~demands_per_plant:200 in
+  let got = verdict_of_lines (config_with_profile ()) (log_lines log) ^ "\n" in
+  let ic = open_in_bin golden_path in
+  let n = in_channel_length ic in
+  let expected = really_input_string ic n in
+  close_in ic;
+  if got <> expected then
+    Alcotest.failf
+      "seed-42 verdict diverges from the golden pin \
+       (test/%s)\n--- expected ---\n%s--- got ---\n%s"
+      golden_path expected got
+
+(* ------------------------------------------------------------------ *)
+(* CLI: the evidence verb end to end                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cli_exe = "../bin/experiments_cli.exe"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_cli_window_byte_identity () =
+  let log, _fleet = fleet_log ~seed:42 ~plants:5 ~demands_per_plant:300 in
+  with_temp_file (fun log_path ->
+      let oc = open_out log_path in
+      Runlog.output_jsonl log oc;
+      close_out oc;
+      let verdict window =
+        with_temp_file (fun out_path ->
+            let args =
+              [ "evidence"; log_path; "--json"; "--profile"; "uniform:64" ]
+              @ (if window > 0 then [ "--window"; string_of_int window ]
+                 else [])
+            in
+            let status =
+              Sys.command
+                (Filename.quote_command cli_exe args ~stdout:out_path)
+            in
+            check_int
+              (Printf.sprintf "evidence --window %d exits 0" window)
+              0 status;
+            read_file out_path)
+      in
+      let whole = verdict 0 in
+      check_bool "verdict is non-empty JSON" true
+        (String.length whole > 2 && whole.[0] = '{');
+      check_string "--window 1 byte-identical" whole (verdict 1);
+      check_string "--window 64 byte-identical" whole (verdict 64);
+      (* text mode smoke: exits 0 and prints a verdict *)
+      with_temp_file (fun out_path ->
+          let status =
+            Sys.command
+              (Filename.quote_command cli_exe
+                 [ "evidence"; log_path; "--window"; "8" ]
+                 ~stdout:out_path)
+          in
+          check_int "text mode exits 0" 0 status;
+          let text = read_file out_path in
+          let contains s sub =
+            let n = String.length s and m = String.length sub in
+            let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+            at 0
+          in
+          check_bool "interim verdicts printed" true (contains text "interim @");
+          check_bool "final text report rendered" true
+            (contains text "proven-in-use verdict:")))
+
+(* Regenerate the pin after an intentional verdict-schema change:
+     EVIDENCE_PRINT_GOLDEN=1 ./test_evidence.exe > test/golden/evidence_seed42.json *)
+let () =
+  if Sys.getenv_opt "EVIDENCE_PRINT_GOLDEN" <> None then begin
+    let log, _fleet = fleet_log ~seed:42 ~plants:4 ~demands_per_plant:200 in
+    print_string
+      (verdict_of_lines (config_with_profile ()) (log_lines log) ^ "\n");
+    exit 0
+  end
+
+let () =
+  Alcotest.run "evidence"
+    [
+      ( "streaming",
+        [
+          Alcotest.test_case "windowed == batch (property)" `Quick
+            test_windowed_equals_batch;
+          Alcotest.test_case "random split points == batch (property)" `Quick
+            test_random_split_points;
+        ] );
+      ( "reconciliation",
+        [
+          Alcotest.test_case "counters match Fleet.observe" `Quick
+            test_reconciles_with_fleet_observe;
+        ] );
+      ( "drift",
+        [
+          Alcotest.test_case "true negative (matching profile)" `Quick
+            test_drift_true_negative;
+          Alcotest.test_case "true positive (zipf vs uniform)" `Quick
+            test_drift_true_positive;
+          Alcotest.test_case "impossible demands" `Quick
+            test_drift_impossible_demands;
+          Alcotest.test_case "alarm rejects the verdict" `Quick
+            test_drift_alarm_rejects_verdict;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "malformed and unknown lines counted" `Quick
+            test_malformed_and_skipped;
+          Alcotest.test_case "event parsing" `Quick test_schema_parse;
+        ] );
+      ( "sources",
+        [
+          Alcotest.test_case "streaming runlog writer" `Quick
+            test_streaming_writer;
+          Alcotest.test_case "file ingest == in-memory ingest" `Quick
+            test_file_matches_memory;
+          Alcotest.test_case "cursor offset and resume" `Quick
+            test_source_resume;
+        ] );
+      ( "judgements",
+        [
+          Alcotest.test_case "wald boundary" `Quick test_wald_of_counts;
+          Alcotest.test_case "posterior bounds" `Quick test_posterior_of_counts;
+        ] );
+      ( "golden",
+        [ Alcotest.test_case "seed-42 verdict pin" `Quick test_golden_verdict ] );
+      ( "cli",
+        [
+          Alcotest.test_case "--window byte-identity" `Quick
+            test_cli_window_byte_identity;
+        ] );
+    ]

@@ -167,6 +167,59 @@ let test_histogram_quantile () =
             (q > 0.1 && q < 1.0)
       | None -> Alcotest.fail "p99 missing")
 
+let test_quantile_summaries () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test.qsummary" in
+      for _ = 1 to 90 do
+        Metrics.observe h 1e-4
+      done;
+      for _ = 1 to 10 do
+        Metrics.observe h 0.5
+      done;
+      let text = Metrics.render_text () in
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+        at 0
+      in
+      List.iter
+        (fun tag ->
+          check_bool
+            (Printf.sprintf "text summary carries %s" tag)
+            true (contains text tag))
+        [ "p50="; "p95="; "p99=" ];
+      let doc = parse_ok "quantile snapshot" (Metrics.render_json ()) in
+      let hist =
+        match Option.bind (Json.member "histograms" doc) Json.to_list with
+        | Some items ->
+            List.find_opt
+              (fun item ->
+                Option.bind (Json.member "name" item) Json.to_string
+                = Some "test.qsummary")
+              items
+        | None -> None
+      in
+      match hist with
+      | None -> Alcotest.fail "test.qsummary missing from snapshot"
+      | Some item ->
+          List.iter
+            (fun field ->
+              match Option.bind (Json.member field item) Json.to_float with
+              | Some q ->
+                  check_bool
+                    (Printf.sprintf "%s positive (got %g)" field q)
+                    true (q > 0.0)
+              | None -> Alcotest.failf "snapshot lacks %s" field)
+            [ "p50"; "p95"; "p99" ];
+          let value field =
+            match Option.bind (Json.member field item) Json.to_float with
+            | Some q -> q
+            | None -> Alcotest.failf "snapshot lacks %s" field
+          in
+          check_bool "p50 <= p95 <= p99" true
+            (value "p50" <= value "p95" && value "p95" <= value "p99");
+          check_bool "p99 at the outlier scale" true (value "p99" > 0.1))
+
 let test_counters_and_gauges () =
   let c = Metrics.counter "test.counter" in
   let g = Metrics.gauge "test.gauge" in
@@ -398,6 +451,8 @@ let () =
             test_histogram_under_overflow;
           Alcotest.test_case "histogram quantiles" `Quick
             test_histogram_quantile;
+          Alcotest.test_case "quantile summaries (text and json)" `Quick
+            test_quantile_summaries;
           Alcotest.test_case "json snapshot" `Quick test_metrics_json;
         ] );
       ( "trace",

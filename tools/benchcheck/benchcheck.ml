@@ -56,13 +56,15 @@ let check_kernel i k =
   name
 
 (* Kernels whose presence the gate insists on: the determinism
-   demonstrator pairs (same computation on 1 vs 4 domains). *)
+   demonstrator pairs (same computation on 1 vs 4 domains) and the
+   proven-in-use evidence ingest path. *)
 let required_kernels =
   [
     "mc-estimate-parallel/1dom";
     "mc-estimate-parallel/4dom";
     "fleet-observe-parallel/1dom";
     "fleet-observe-parallel/4dom";
+    "evidence-ingest/1e6";
   ]
 
 (* Minimum OLS fit quality a full-mode artefact may publish for the
