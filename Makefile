@@ -1,4 +1,4 @@
-.PHONY: all build lint lint-project test check prop diff bench-json evidence clean
+.PHONY: all build lint lint-project test check prop diff bench-json bench-diff evidence clean
 
 all: build
 
@@ -23,6 +23,22 @@ test:
 bench-json:
 	GIT_REV=$$(git rev-parse --short HEAD) dune exec bench/main.exe -- json -o BENCH_kernels.json
 	dune exec tools/benchcheck/benchcheck.exe -- BENCH_kernels.json
+
+# Per-kernel speedup/regression report between two bench artefacts.
+# Defaults compare the committed full-mode BENCH_kernels.json against a
+# freshly timed run (written to BENCH_candidate.json and left in place
+# for inspection); override either side or the threshold with
+#   make bench-diff BENCH_BASE=old.json BENCH_CAND=new.json BENCH_MAX_REGRESSION=10
+# The gate (exit 1 past the threshold) only engages when both artefacts
+# carry full-mode timings.
+BENCH_BASE ?= BENCH_kernels.json
+BENCH_CAND ?= BENCH_candidate.json
+BENCH_MAX_REGRESSION ?= 25
+bench-diff:
+	@if [ ! -f $(BENCH_CAND) ]; then \
+	  GIT_REV=$$(git rev-parse --short HEAD) dune exec bench/main.exe -- json -o $(BENCH_CAND); \
+	fi
+	dune exec tools/benchdiff/benchdiff.exe -- --max-regression $(BENCH_MAX_REGRESSION) $(BENCH_BASE) $(BENCH_CAND)
 
 # The single-command gate CI should run. The test suite executes twice,
 # on a 1-domain (inline sequential) and a 2-domain default pool: the

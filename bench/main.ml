@@ -137,11 +137,33 @@ let tests ~smoke () =
       (Staged.stage (fun () -> ignore (Core.Fault_count.poisson_binomial ps_big)));
     Test.make ~name:"exact-pfd-dist/n=16"
       (Staged.stage (fun () -> ignore (Core.Pfd_dist.exact_single u_small)));
+    (* Fast-vs-naive kernel pairs for the rewritten hot paths: the
+       unsuffixed names above/below time whatever the library defaults
+       to (now the incremental formulations), the explicit pairs keep
+       both sides measurable so benchdiff can track the gap as the
+       kernels evolve. *)
+    Test.make ~name:"exact-pfd-dist-fast/n=16"
+      (Staged.stage
+         (let probs = Core.Universe.ps u_small
+          and values = Core.Universe.qs u_small in
+          fun () -> ignore (Core.Pfd_dist.exact_of_vectors ~probs ~values ())));
+    Test.make ~name:"exact-pfd-dist-naive/n=16"
+      (Staged.stage
+         (let probs = Core.Universe.ps u_small
+          and values = Core.Universe.qs u_small in
+          fun () ->
+            ignore (Core.Pfd_dist.exact_of_vectors_naive ~probs ~values ())));
     Test.make ~name:"grid-pfd-dist/n=1000,bins=2048"
       (Staged.stage (fun () -> ignore (Core.Pfd_dist.grid_single u_big ~bins:2048)));
     Test.make ~name:"sensitivity-gradient/n=1000"
       (Staged.stage (fun () ->
            ignore (Core.Sensitivity.risk_ratio_gradient ps_big)));
+    Test.make ~name:"sensitivity-gradient-incremental/n=1000"
+      (Staged.stage (fun () ->
+           ignore (Core.Sensitivity.risk_ratio_gradient ~shards:1 ps_big)));
+    Test.make ~name:"sensitivity-gradient-naive/n=1000"
+      (Staged.stage (fun () ->
+           ignore (Core.Sensitivity.risk_ratio_gradient_naive ps_big)));
     Test.make ~name:"normal-ppf"
       (Staged.stage
          (let p = ref 0.001 in
@@ -219,13 +241,14 @@ type kernel_row = {
 
 (* Domains each kernel computed on, recorded per row in the JSON.
    Sequential kernels run on the calling domain; the parallel-estimate
-   pair pins its pool size in the kernel name; the gradient kernel uses
-   the process default pool (sized by --domains / DIVREL_DOMAINS). *)
+   pair pins its pool size in the kernel name; the naive gradient
+   reference shards over the process default pool (sized by --domains /
+   DIVREL_DOMAINS). The incremental gradient never engages the pool. *)
 let kernel_domains name =
   match name with
   | "mc-estimate-parallel/1dom" | "fleet-observe-parallel/1dom" -> 1
   | "mc-estimate-parallel/4dom" | "fleet-observe-parallel/4dom" -> 4
-  | "sensitivity-gradient/n=1000" -> Exec.Pool.size (Exec.Pool.default ())
+  | "sensitivity-gradient-naive/n=1000" -> Exec.Pool.size (Exec.Pool.default ())
   | _ -> 1
 
 (* Slow kernels complete few runs inside the standard half-second quota
@@ -235,6 +258,8 @@ let generous_quota_kernels =
   [
     "grid-pfd-dist/n=1000,bins=2048";
     "moments/n=1000";
+    "sensitivity-gradient-naive/n=1000";
+    "exact-pfd-dist-naive/n=16";
     "mc-estimate-parallel/1dom";
     "mc-estimate-parallel/4dom";
     "fleet-observe-parallel/1dom";

@@ -383,6 +383,127 @@ let correlated_degenerate =
              ~trials:r ~mean ());
       ])
 
+(* ---- incremental rewrites vs the retained naive kernels ---- *)
+
+(* Tolerance for the incremental-vs-naive gradient agreement: the two
+   paths evaluate the same closed form but associate the compensated
+   log-sums differently (per-index Kahan sums vs shared prefix/suffix
+   arrays), so coordinates agree to rounding, not bitwise. The bound
+   1e-9 * (1 + ||grad_naive||_inf) absolute plus 1e-9 relative is ~7
+   orders of magnitude above the worst drift ever observed (~1e-14
+   relative) while still catching any real formula divergence — see
+   EXPERIMENTS.md "ulp-tolerance policy". *)
+let gradient_tol g =
+  Array.fold_left
+    (fun acc d -> if Float.is_nan d then acc else Float.max acc (Float.abs d))
+    0.0 g
+  |> fun inf_norm -> 1e-9 *. (1.0 +. inf_norm)
+
+let gradient_incremental_vs_naive =
+  let id = "gradient-incremental-vs-naive" in
+  Oracle.make ~id
+    ~description:
+      "O(n) prefix/suffix risk_ratio_gradient and risk_ratio_k_derivative \
+       vs the retained O(n^2) per-partial references, including p_i in \
+       {0, 1} boundary coordinates"
+    (fun s ->
+      let u = Scenario.universe s in
+      let ps = Core.Universe.ps u in
+      let max_abs_diff ps =
+        let fast = Core.Sensitivity.risk_ratio_gradient ps in
+        let naive = Core.Sensitivity.risk_ratio_gradient_naive ps in
+        let d = ref 0.0 in
+        Array.iteri
+          (fun i f ->
+            (* both NaN (the all-zero universe, where the ratio is 0/0)
+               is agreement; NaN on one side only is divergence *)
+            let diff =
+              if Float.is_nan f && Float.is_nan naive.(i) then 0.0
+              else Float.abs (f -. naive.(i))
+            in
+            d := Float.max !d diff)
+          fast;
+        (!d, gradient_tol naive)
+      in
+      let boundary =
+        (* exercise the p_i = 0 and p_i = 1 edges the prefix/suffix
+           construction exists for: a 1-coordinate sends every other
+           partial through exp(-inf) = 0 while its own stays finite *)
+        let b = Array.copy ps in
+        if Array.length b > 0 then b.(0) <- 0.0;
+        if Array.length b > 1 then b.(1) <- 1.0;
+        b
+      in
+      let d_plain, tol_plain = max_abs_diff ps in
+      let d_bound, tol_bound = max_abs_diff boundary in
+      let k = 0.5 in
+      let dk = Core.Sensitivity.risk_ratio_k_derivative ~b:ps ~k in
+      let dk_naive = Core.Sensitivity.risk_ratio_k_derivative_naive ~b:ps ~k in
+      [
+        mk ~oracle:id ~quantity:"gradient max |fast - naive|" ~analytic:0.0
+          ~simulated:d_plain
+          (Compare.approx ~abs:tol_plain ~rel:0.0 0.0 d_plain);
+        mk ~oracle:id ~quantity:"gradient max |fast - naive| (p in {0,1})"
+          ~analytic:0.0 ~simulated:d_bound
+          (Compare.approx ~abs:tol_bound ~rel:0.0 0.0 d_bound);
+        mk ~oracle:id ~quantity:"dR/dk (Appendix B)" ~analytic:dk_naive
+          ~simulated:dk
+          (Compare.approx ~abs:1e-12 dk_naive dk);
+      ])
+
+let pfd_fast_vs_legacy =
+  let id = "pfd-fast-vs-legacy" in
+  Oracle.make ~id
+    ~description:
+      "Preallocated ping-pong exact convolution vs the legacy allocating \
+       pass (bit-identical), and binomial-block grid convolution vs the \
+       per-fault sweeps (agreement to rounding)"
+    (fun s ->
+      let u = Scenario.universe s in
+      let probs = Core.Universe.ps u and values = Core.Universe.qs u in
+      let fast = Core.Pfd_dist.exact_of_vectors ~shards:1 ~probs ~values () in
+      let legacy = Core.Pfd_dist.exact_of_vectors_naive ~probs ~values () in
+      let bins = 1024 in
+      let gfast = Core.Pfd_dist.grid_of_vectors ~shards:1 ~probs ~values ~bins () in
+      let glegacy =
+        Core.Pfd_dist.grid_of_vectors_naive ~shards:1 ~probs ~values ~bins ()
+      in
+      [
+        (* The sequential exact path claims bit-identity: same float ops
+           in the same order, only the buffer management changed. *)
+        mk ~oracle:id ~quantity:"exact mean"
+          ~analytic:(Core.Pfd_dist.mean legacy)
+          ~simulated:(Core.Pfd_dist.mean fast)
+          (Compare.exact_bits (Core.Pfd_dist.mean legacy)
+             (Core.Pfd_dist.mean fast));
+        mk ~oracle:id ~quantity:"exact variance"
+          ~analytic:(Core.Pfd_dist.variance legacy)
+          ~simulated:(Core.Pfd_dist.variance fast)
+          (Compare.exact_bits
+             (Core.Pfd_dist.variance legacy)
+             (Core.Pfd_dist.variance fast));
+        mk ~oracle:id ~quantity:"exact P(X > 0)"
+          ~analytic:(Core.Pfd_dist.prob_positive legacy)
+          ~simulated:(Core.Pfd_dist.prob_positive fast)
+          (Compare.exact_bits
+             (Core.Pfd_dist.prob_positive legacy)
+             (Core.Pfd_dist.prob_positive fast));
+        (* The grid rewrite coalesces same-shift faults into binomial
+           blocks, associating their products differently: rounding-level
+           agreement only (see EXPERIMENTS.md for the policy). *)
+        mk ~oracle:id ~quantity:"grid mean"
+          ~analytic:(Core.Pfd_dist.mean glegacy)
+          ~simulated:(Core.Pfd_dist.mean gfast)
+          (Compare.approx (Core.Pfd_dist.mean glegacy)
+             (Core.Pfd_dist.mean gfast));
+        mk ~oracle:id ~quantity:"grid P(X > 0)"
+          ~analytic:(Core.Pfd_dist.prob_positive glegacy)
+          ~simulated:(Core.Pfd_dist.prob_positive gfast)
+          (Compare.approx
+             (Core.Pfd_dist.prob_positive glegacy)
+             (Core.Pfd_dist.prob_positive gfast));
+      ])
+
 (* ---- the sharded fleet pipeline vs the moments ---- *)
 
 let fleet_vs_moments =
@@ -435,6 +556,8 @@ let all =
     littlewood_miller_degenerate;
     independence_degenerate;
     correlated_degenerate;
+    gradient_incremental_vs_naive;
+    pfd_fast_vs_legacy;
     fleet_vs_moments;
   ]
 

@@ -2,10 +2,61 @@ open Numerics
 
 type t = { xs : float array; ws : float array; cum : float array }
 
+let reject_nan ~what x w =
+  if Float.is_nan x then invalid_arg (what ^ ": NaN support point");
+  if Float.is_nan w then invalid_arg (what ^ ": NaN mass")
+
+(* Shared finalisation: the first [len] entries of [xs]/[ws] hold a
+   support sorted strictly increasing once nonpositive-mass points are
+   dropped. Normalisation (Kahan total over the kept masses, in order,
+   then per-point division) and the CDF are computed exactly as the
+   historical of_mass pipeline did, so a distribution built here is
+   bit-identical to routing the same points through [of_mass] — that
+   equivalence is what lets the convolvers skip the list round-trip and
+   sort without perturbing any golden pin. *)
+let of_sorted_len ~what xs ws len =
+  let kept = ref 0 in
+  for i = 0 to len - 1 do
+    reject_nan ~what xs.(i) ws.(i);
+    if ws.(i) > 0.0 then incr kept
+  done;
+  if !kept = 0 then invalid_arg (what ^ ": no positive mass");
+  let n = !kept in
+  let oxs = Array.make n 0.0 and ows = Array.make n 0.0 in
+  let j = ref 0 in
+  for i = 0 to len - 1 do
+    if ws.(i) > 0.0 then begin
+      oxs.(!j) <- xs.(i);
+      ows.(!j) <- ws.(i);
+      incr j
+    end
+  done;
+  for i = 1 to n - 1 do
+    if not (oxs.(i - 1) < oxs.(i)) then
+      invalid_arg (what ^ ": support not sorted strictly increasing")
+  done;
+  let total = Kahan.sum_array ows in
+  let ows = Array.map (fun w -> w /. total) ows in
+  let cum = Array.make n 0.0 in
+  let acc = Kahan.create () in
+  Array.iteri
+    (fun i w ->
+      Kahan.add acc w;
+      cum.(i) <- min 1.0 (Kahan.total acc))
+    ows;
+  cum.(n - 1) <- 1.0;
+  { xs = oxs; ws = ows; cum }
+
+let of_sorted_arrays xs ws =
+  if Array.length xs <> Array.length ws then
+    invalid_arg "Pfd_dist.of_sorted_arrays: length mismatch";
+  of_sorted_len ~what:"Pfd_dist.of_sorted_arrays" xs ws (Array.length xs)
+
 let of_mass pairs =
+  List.iter (fun (x, w) -> reject_nan ~what:"Pfd_dist.of_mass" x w) pairs;
   let pairs = List.filter (fun (_, w) -> w > 0.0) pairs in
   if pairs = [] then invalid_arg "Pfd_dist.of_mass: no positive mass";
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) pairs in
   (* merge equal support points *)
   let merged =
     List.fold_left
@@ -18,17 +69,7 @@ let of_mass pairs =
   in
   let xs = Array.of_list (List.map fst merged) in
   let ws = Array.of_list (List.map snd merged) in
-  let total = Kahan.sum_array ws in
-  let ws = Array.map (fun w -> w /. total) ws in
-  let cum = Array.make (Array.length ws) 0.0 in
-  let acc = Kahan.create () in
-  Array.iteri
-    (fun i w ->
-      Kahan.add acc w;
-      cum.(i) <- min 1.0 (Kahan.total acc))
-    ws;
-  cum.(Array.length cum - 1) <- 1.0;
-  { xs; ws; cum }
+  of_sorted_len ~what:"Pfd_dist.of_mass" xs ws (Array.length xs)
 
 let support t = Array.copy t.xs
 let masses t = Array.copy t.ws
@@ -124,10 +165,67 @@ let merge_streams (xs1, ws1) (xs2, ws2) =
     (Array.sub nxs 0 !out, Array.sub nws 0 !out)
   end
 
-(* Breadth-first doubling over faults [lo, hi): dist held as sorted
-   (value, mass) arrays; each fault merges the shifted copy in linear
-   time. *)
+(* Breadth-first doubling over faults [lo, hi): dist held as the first
+   [len] entries of a ping-pong buffer pair. Each fault's fused merge of
+   (old, weight (1-p)) with (old + q, weight p) writes the spare buffer
+   and the roles swap — no Array.make / Array.sub per fault; the pair
+   only reallocates on the O(log) occasions the support outgrows its
+   capacity. The merge arithmetic is unchanged from the historical
+   allocating pass, so every produced (value, mass) is bit-identical to
+   it (asserted by the fast-vs-legacy differential oracle). Returns
+   (xs, ws, len); entries at [len] and beyond are garbage. *)
 let convolve_range ~probs ~values lo hi =
+  let src_xs = ref (Array.make 16 0.0) and src_ws = ref (Array.make 16 0.0) in
+  let dst_xs = ref [||] and dst_ws = ref [||] in
+  !src_xs.(0) <- 0.0;
+  !src_ws.(0) <- 1.0;
+  let len = ref 1 in
+  for i = lo to hi - 1 do
+    let p = probs.(i) and q = values.(i) in
+    if p > 0.0 then begin
+      let m = !len in
+      if Array.length !dst_xs < 2 * m then begin
+        let cap = max (2 * m) (2 * Array.length !dst_xs) in
+        dst_xs := Array.make cap 0.0;
+        dst_ws := Array.make cap 0.0
+      end;
+      let old_xs = !src_xs and old_ws = !src_ws in
+      let nxs = !dst_xs and nws = !dst_ws in
+      let a = ref 0 and b = ref 0 and out = ref 0 in
+      let push x w =
+        if !out > 0 && nxs.(!out - 1) = x then nws.(!out - 1) <- nws.(!out - 1) +. w
+        else begin
+          nxs.(!out) <- x;
+          nws.(!out) <- w;
+          incr out
+        end
+      in
+      while !a < m || !b < m do
+        let xa = if !a < m then old_xs.(!a) else infinity in
+        let xb = if !b < m then old_xs.(!b) +. q else infinity in
+        if xa <= xb then begin
+          push xa (old_ws.(!a) *. (1.0 -. p));
+          incr a
+        end
+        else begin
+          push xb (old_ws.(!b) *. p);
+          incr b
+        end
+      done;
+      src_xs := nxs;
+      src_ws := nws;
+      dst_xs := old_xs;
+      dst_ws := old_ws;
+      len := !out
+    end
+  done;
+  (!src_xs, !src_ws, !len)
+
+(* The historical allocating doubling pass, retained verbatim as the
+   reference side of the fast-vs-legacy differential oracle: a fresh
+   2m-point buffer pair and two Array.sub per fault, finishing through
+   the of_mass list pipeline. *)
+let convolve_range_naive ~probs ~values lo hi =
   let xs = ref [| 0.0 |] and ws = ref [| 1.0 |] in
   for i = lo to hi - 1 do
     let p = probs.(i) and q = values.(i) in
@@ -166,16 +264,18 @@ let convolve_range ~probs ~values lo hi =
 (* Exact distribution of sum of independent {0, q_i} variables with
    P(q_i) = probs.(i).
 
-   Sequential (shards = 1, the default): one doubling pass — the legacy
-   kernel, byte-for-byte. Sharded: split the faults into a *head* of
-   s = floor(log2 shards) faults and a tail; each of the 2^s shards owns
-   one head outcome (a subset of present head faults), scales and shifts
-   the shared tail distribution by that outcome's mass and offset, and
-   the 2^s streams reduce through a balanced pairwise merge tree whose
-   levels run on the pool. Given a shard count the result is
-   deterministic for any domain count; sharded mass sums may associate
-   differently from the sequential pass (ulp-level), which is why the
-   default stays 1. *)
+   Sequential (shards = 1, the default): one doubling pass — bit-for-bit
+   the legacy kernel's values, now allocation-free (see convolve_range)
+   and finalised without the of_mass list round-trip and sort (the
+   doubling output is already sorted and coalesced). Sharded: split the
+   faults into a *head* of s = floor(log2 shards) faults and a tail;
+   each of the 2^s shards owns one head outcome (a subset of present
+   head faults), scales and shifts the shared tail distribution by that
+   outcome's mass and offset, and the 2^s streams reduce through a
+   balanced pairwise merge tree whose levels run on the pool. Given a
+   shard count the result is deterministic for any domain count; sharded
+   mass sums may associate differently from the sequential pass
+   (ulp-level), which is why the default stays 1. *)
 let exact_of_vectors ?pool ?(shards = 1) ~probs ~values () =
   let n = Array.length probs in
   if n <> Array.length values then
@@ -191,55 +291,68 @@ let exact_of_vectors ?pool ?(shards = 1) ~probs ~values () =
     let rec log2_floor acc s = if s >= 2 then log2_floor (acc + 1) (s / 2) else acc in
     min (log2_floor 0 shards) (max 0 (n - 1))
   in
-  let xs, ws =
-    if head_bits = 0 then convolve_range ~probs ~values 0 n
-    else begin
-      let tail_xs, tail_ws = convolve_range ~probs ~values head_bits n in
-      let m = Array.length tail_xs in
-      let nstreams = 1 lsl head_bits in
-      let streams =
-        Exec.map_shards ?pool ~shards:nstreams
-          ~f:(fun k ->
-            (* Head outcome k: bit i of k decides whether head fault i is
-               present. *)
-            let mass = ref 1.0 in
-            let offset = Kahan.create () in
-            for i = 0 to head_bits - 1 do
-              if k land (1 lsl i) <> 0 then begin
-                mass := !mass *. probs.(i);
-                Kahan.add offset values.(i)
-              end
-              else mass := !mass *. (1.0 -. probs.(i))
-            done;
-            if !mass <= 0.0 then ([||], [||])
-            else begin
-              let off = Kahan.total offset in
-              let mass = !mass in
-              ( Array.init m (fun j -> tail_xs.(j) +. off),
-                Array.init m (fun j -> tail_ws.(j) *. mass) )
-            end)
-          ()
-      in
-      let rec reduce streams =
-        let len = Array.length streams in
-        if len = 1 then streams.(0)
-        else begin
-          let pairs = len / 2 in
-          let merged =
-            Exec.map_shards ?pool ~shards:pairs
-              ~f:(fun k -> merge_streams streams.(2 * k) streams.((2 * k) + 1))
-              ()
-          in
-          let next =
-            if len mod 2 = 0 then merged
-            else Array.append merged [| streams.(len - 1) |]
-          in
-          reduce next
-        end
-      in
-      reduce streams
-    end
-  in
+  if head_bits = 0 then begin
+    let xs, ws, len = convolve_range ~probs ~values 0 n in
+    of_sorted_len ~what:"Pfd_dist.exact_of_vectors" xs ws len
+  end
+  else begin
+    let tail_xs, tail_ws, m = convolve_range ~probs ~values head_bits n in
+    let nstreams = 1 lsl head_bits in
+    let streams =
+      Exec.map_shards ?pool ~shards:nstreams
+        ~f:(fun k ->
+          (* Head outcome k: bit i of k decides whether head fault i is
+             present. *)
+          let mass = ref 1.0 in
+          let offset = Kahan.create () in
+          for i = 0 to head_bits - 1 do
+            if k land (1 lsl i) <> 0 then begin
+              mass := !mass *. probs.(i);
+              Kahan.add offset values.(i)
+            end
+            else mass := !mass *. (1.0 -. probs.(i))
+          done;
+          if !mass <= 0.0 then ([||], [||])
+          else begin
+            let off = Kahan.total offset in
+            let mass = !mass in
+            ( Array.init m (fun j -> tail_xs.(j) +. off),
+              Array.init m (fun j -> tail_ws.(j) *. mass) )
+          end)
+        ()
+    in
+    let rec reduce streams =
+      let len = Array.length streams in
+      if len = 1 then streams.(0)
+      else begin
+        let pairs = len / 2 in
+        let merged =
+          Exec.map_shards ?pool ~shards:pairs
+            ~f:(fun k -> merge_streams streams.(2 * k) streams.((2 * k) + 1))
+            ()
+        in
+        let next =
+          if len mod 2 = 0 then merged
+          else Array.append merged [| streams.(len - 1) |]
+        in
+        reduce next
+      end
+    in
+    let xs, ws = reduce streams in
+    of_sorted_len ~what:"Pfd_dist.exact_of_vectors" xs ws (Array.length xs)
+  end
+
+let exact_of_vectors_naive ~probs ~values () =
+  let n = Array.length probs in
+  if n <> Array.length values then
+    invalid_arg "Pfd_dist.exact_of_vectors_naive: length mismatch";
+  if n > max_exact_faults then
+    invalid_arg
+      (Printf.sprintf
+         "Pfd_dist.exact_of_vectors_naive: %d faults exceeds the \
+          exact-enumeration limit of %d; use grid_of_vectors"
+         n max_exact_faults);
+  let xs, ws = convolve_range_naive ~probs ~values 0 n in
   let pairs = Array.to_list (Array.map2 (fun x w -> (x, w)) xs ws) in
   of_mass pairs
 
@@ -263,46 +376,182 @@ let exact_nk ?pool ?shards u ~channels =
    both paths compute bit-identical values. *)
 let grid_parallel_min_bins = 32768
 
-(* Grid approximation: round every q_i to a multiple of the grid step and
-   run the same convolution on a dense array. The support error per fault
-   is at most half a step, so the total displacement is bounded by
-   n * step / 2.
-
-   The sequential kernel updates in place, scanning j downward so that
-   dist.(j - shift) is always read pre-update. The sharded kernel writes
-   the same expression into a second buffer (reads all pre-update by
-   construction) over disjoint bin slices, then swaps buffers: every bin
-   gets the identical keep/arrive arithmetic, so grid results are
-   bit-identical for any (shards, domains) combination. *)
-let grid_of_vectors ?pool ?shards ~probs ~values ~bins () =
-  let n = Array.length probs in
-  if n <> Array.length values then
-    invalid_arg "Pfd_dist.grid_of_vectors: length mismatch";
-  if bins < 2 then invalid_arg "Pfd_dist.grid_of_vectors: need at least 2 bins";
+let grid_validate ~what ~probs ~values ~bins ~shards =
+  if Array.length probs <> Array.length values then
+    invalid_arg (what ^ ": length mismatch");
+  if bins < 2 then invalid_arg (what ^ ": need at least 2 bins");
   let shards =
     match shards with Some s -> s | None -> Exec.default_shards ()
   in
-  if shards < 1 then invalid_arg "Pfd_dist.grid_of_vectors: shards must be >= 1";
+  if shards < 1 then invalid_arg (what ^ ": shards must be >= 1");
+  shards
+
+(* Rounding each q_i to the nearest grid multiple can round *up* by as
+   much as half a step, so the all-faults subset can land up to n/2
+   bins above bins - 1. Size the dense array for that true top: a
+   clamped array would silently drop the topmost mass and the
+   normalisation would then smear the loss over the whole support,
+   biasing the mean far beyond the n*step/2 displacement bound (caught
+   by the pfd-exact-vs-grid differential oracle). *)
+let grid_shifts ~probs ~values ~step =
+  Array.init (Array.length probs) (fun i ->
+      if probs.(i) > 0.0 then int_of_float (Float.round (values.(i) /. step))
+      else 0)
+
+(* Collect the surviving (value, mass) pairs of the dense array into
+   sorted arrays; finalisation is then bit-identical to the historical
+   of_mass route (ascending scan, same Kahan order) without the list. *)
+let grid_finalise ~step ~dist ~top =
+  let count = ref 0 in
+  for j = 0 to top do
+    if dist.(j) > 0.0 then incr count
+  done;
+  let xs = Array.make (max 1 !count) 0.0 and ws = Array.make (max 1 !count) 0.0 in
+  let out = ref 0 in
+  for j = 0 to top do
+    if dist.(j) > 0.0 then begin
+      xs.(!out) <- float_of_int j *. step;
+      ws.(!out) <- dist.(j);
+      incr out
+    end
+  done;
+  of_sorted_len ~what:"Pfd_dist.grid_of_vectors" xs ws !out
+
+(* Flat accumulator for the dense block sweeps: a mutable float record
+   field stores unboxed, so the per-bin tap loop allocates nothing (a
+   float ref would box every store). *)
+type block_acc = { mutable acc : float }
+
+(* One binomial-block dense pass: writes dst.(j) for j in [lo, hi] from
+   the pre-update values of src, where the block is [counts] (length
+   k + 1) over multiples of [shift]. Taps accumulate in ascending m, the
+   same expression for every caller, so sequential in-place (src == dst,
+   descending — every tap reads j or lower, still unwritten) and sharded
+   src -> dst slices produce bit-identical values. The tap count is
+   hoisted out of the branch: bins at or above k*shift take all k + 1
+   taps unconditionally, lower bins take exactly j/shift. *)
+let block_pass ~counts ~k ~shift ~src ~dst ~lo ~hi =
+  let a = { acc = 0.0 } in
+  let full_lo = k * shift in
+  for j = hi downto max lo full_lo do
+    a.acc <- counts.(0) *. src.(j);
+    for m = 1 to k do
+      a.acc <- a.acc +. (counts.(m) *. src.(j - (m * shift)))
+    done;
+    dst.(j) <- a.acc
+  done;
+  for j = min hi (full_lo - 1) downto lo do
+    a.acc <- counts.(0) *. src.(j);
+    for m = 1 to j / shift do
+      a.acc <- a.acc +. (counts.(m) *. src.(j - (m * shift)))
+    done;
+    dst.(j) <- a.acc
+  done
+
+(* Grid approximation: round every q_i to a multiple of the grid step and
+   convolve on a dense array. The support error per fault is at most half
+   a step, so the total displacement is bounded by n * step / 2.
+
+   Faults sharing a shift are coalesced into one binomial block: the
+   Poisson-binomial recurrence (Fault_count.poisson_binomial) gives the
+   distribution of how many of the k same-shift faults are present, and
+   one (k+1)-tap dense pass applies the whole block — the fault loop
+   runs distinct-shift passes instead of n. On realistic universes
+   (thousands of faults, a few thousand bins) most faults share one of a
+   few dozen shifts, so this removes almost all dense sweeps.
+
+   The sequential kernel updates in place, scanning j downward so every
+   tap j - m*shift is read pre-update. The sharded kernel writes the
+   same expression into a second buffer (reads all pre-update by
+   construction) over disjoint bin slices, then swaps buffers: every bin
+   gets the identical tap arithmetic in the identical order, so grid
+   results are bit-identical for any (shards, domains) combination.
+   Versus the retained per-fault path (grid_of_vectors_naive) a block of
+   k >= 2 faults associates the per-fault products differently, and the
+   blocks run in ascending-shift order rather than index order, so the
+   two paths agree to rounding, not bits; a block of one fault reduces
+   to exactly the legacy keep/arrive expression, making the whole result
+   bit-identical when every shift is unique and already ascending. *)
+let grid_of_vectors ?pool ?shards ~probs ~values ~bins () =
+  let n = Array.length probs in
+  let shards =
+    grid_validate ~what:"Pfd_dist.grid_of_vectors" ~probs ~values ~bins ~shards
+  in
   let total = Kahan.sum_array values in
   let step = if total > 0.0 then total /. float_of_int (bins - 1) else 1.0 in
-  (* Rounding each q_i to the nearest grid multiple can round *up* by as
-     much as half a step, so the all-faults subset can land up to n/2
-     bins above bins - 1. Size the dense array for that true top: a
-     clamped array would silently drop the topmost mass and of_mass's
-     normalisation would then smear the loss over the whole support,
-     biasing the mean far beyond the n*step/2 displacement bound (caught
-     by the pfd-exact-vs-grid differential oracle). *)
-  let shifts =
-    Array.init n (fun i ->
-        if probs.(i) > 0.0 then int_of_float (Float.round (values.(i) /. step))
-        else 0)
-  in
+  let shifts = grid_shifts ~probs ~values ~step in
   let len = max bins (1 + Array.fold_left ( + ) 0 shifts) in
+  (* binomial blocks: (shift, probs of the faults rounding to it), with
+     members in index order (stable sort) so the Poisson-binomial
+     recurrence consumes them deterministically *)
+  let blocks =
+    let tagged = ref [] in
+    for i = n - 1 downto 0 do
+      if probs.(i) > 0.0 && shifts.(i) > 0 then
+        tagged := (shifts.(i), probs.(i)) :: !tagged
+    done;
+    let sorted =
+      List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) !tagged
+    in
+    let rec group = function
+      | [] -> []
+      | (s, p) :: rest ->
+          let same, rest =
+            List.partition (fun (s', _) -> s' = s) rest
+          in
+          (s, Array.of_list (p :: List.map snd same)) :: group rest
+    in
+    group sorted
+  in
   let cur = ref (Array.make len 0.0) in
   (* Spare buffer for the sharded path; stale entries are harmless: a
      sharded round overwrites [0, new_top] entirely, and indices above
      any round's new_top have never been written (tops only grow), so
      they still hold the initial zeros the mass invariant requires. *)
+  let spare = ref (Array.make len 0.0) in
+  !cur.(0) <- 1.0;
+  let top = ref 0 in
+  List.iter
+    (fun (shift, block_ps) ->
+      let k = Array.length block_ps in
+      let counts = Fault_count.poisson_binomial block_ps in
+      let new_top = !top + (k * shift) in
+      if shards > 1 && new_top + 1 >= grid_parallel_min_bins then begin
+        let src = !cur and dst = !spare in
+        let bounds = Exec.shard_bounds ~range:(new_top + 1) ~shards in
+        ignore
+          (Exec.map_shards ?pool ~shards
+             ~f:(fun sk ->
+               let lo, slice = bounds.(sk) in
+               if slice > 0 then
+                 block_pass ~counts ~k ~shift ~src ~dst ~lo
+                   ~hi:(lo + slice - 1))
+             ());
+        cur := dst;
+        spare := src
+      end
+      else begin
+        let dist = !cur in
+        block_pass ~counts ~k ~shift ~src:dist ~dst:dist ~lo:0 ~hi:new_top
+      end;
+      top := new_top)
+    blocks;
+  grid_finalise ~step ~dist:!cur ~top:!top
+
+(* The historical per-fault grid pass, retained as the reference side of
+   the fast-vs-legacy differential oracle: one two-tap dense sweep per
+   fault, in index order, finishing through the of_mass list pipeline. *)
+let grid_of_vectors_naive ?pool ?shards ~probs ~values ~bins () =
+  let n = Array.length probs in
+  let shards =
+    grid_validate ~what:"Pfd_dist.grid_of_vectors_naive" ~probs ~values ~bins
+      ~shards
+  in
+  let total = Kahan.sum_array values in
+  let step = if total > 0.0 then total /. float_of_int (bins - 1) else 1.0 in
+  let shifts = grid_shifts ~probs ~values ~step in
+  let len = max bins (1 + Array.fold_left ( + ) 0 shifts) in
+  let cur = ref (Array.make len 0.0) in
   let spare = ref (Array.make len 0.0) in
   !cur.(0) <- 1.0;
   let top = ref 0 in

@@ -13,7 +13,18 @@ type t
 
 val of_mass : (float * float) list -> t
 (** Build from (value, mass) pairs; masses are normalised, zero-mass points
-    dropped. Raises [Invalid_argument] when no positive mass remains. *)
+    dropped, equal support points merged (support ordered by
+    [Float.compare]). Raises [Invalid_argument] when no positive mass
+    remains, or when any support point or mass is NaN. *)
+
+val of_sorted_arrays : float array -> float array -> t
+(** Build from parallel support/mass arrays that are already sorted and
+    coalesced: after dropping nonpositive-mass points the support must be
+    strictly increasing ([Invalid_argument] otherwise, as for NaN entries,
+    length mismatch, or no positive mass). Produces bit-identically the
+    distribution [of_mass] would, in O(m) instead of O(m log m) — the
+    constructor the convolvers use to skip the list round-trip and sort
+    of an already-sorted support. *)
 
 val support : t -> float array
 val masses : t -> float array
@@ -56,13 +67,23 @@ val exact_of_vectors :
 (** Exact distribution of a sum of independent two-point variables taking
     value [values.(i)] with probability [probs.(i)], else 0.
 
-    [shards = 1] (the default) is the legacy sequential doubling pass.
-    With more shards, the outcomes of the first floor(log2 shards) faults
-    are enumerated as scaled, shifted copies of the shared
-    remaining-fault distribution and reduced through a pairwise merge
-    tree on the pool; the result is deterministic in [shards] (domain
-    count never matters) but its mass sums may differ from the
-    sequential pass at ulp level, hence the conservative default. *)
+    [shards = 1] (the default) is the sequential doubling pass —
+    bit-identical values to the legacy kernel, now with preallocated
+    ping-pong buffers (no per-fault allocation) and an
+    {!of_sorted_arrays}-style finalisation instead of the of_mass list
+    round-trip. With more shards, the outcomes of the first
+    floor(log2 shards) faults are enumerated as scaled, shifted copies
+    of the shared remaining-fault distribution and reduced through a
+    pairwise merge tree on the pool; the result is deterministic in
+    [shards] (domain count never matters) but its mass sums may differ
+    from the sequential pass at ulp level, hence the conservative
+    default. *)
+
+val exact_of_vectors_naive : probs:float array -> values:float array -> unit -> t
+(** The historical allocating doubling pass (fresh buffers and two
+    [Array.sub] per fault, of_mass finalisation), retained as the
+    reference side of the fast-vs-legacy differential oracle; sequential
+    only. Bit-identical to [exact_of_vectors ~shards:1]. *)
 
 val exact_single : ?pool:Exec.Pool.t -> ?shards:int -> Universe.t -> t
 (** Exact distribution of Theta_1. *)
@@ -84,10 +105,32 @@ val grid_of_vectors :
 (** Grid convolution: every region measure is rounded to a multiple of
     total_q/(bins-1); the support displacement is at most n*step/2 (the
     support can therefore extend slightly beyond total_q — no mass is
-    ever clamped to the top bin). Handles thousands of faults. Large grids (>= 32768 active bins)
-    shard each fault's dense update across the pool; sharded and
-    sequential paths compute bit-identical values, so the result never
-    depends on shards or domain count. *)
+    ever clamped to the top bin). Handles thousands of faults.
+
+    Faults sharing a shift are coalesced into one binomial block via the
+    Poisson-binomial count recurrence, so the dense sweep runs once per
+    distinct shift instead of once per fault. Large grids (>= 32768
+    active bins) shard each block's dense update across the pool;
+    sharded and sequential paths compute bit-identical values, so the
+    result never depends on shards or domain count. Versus
+    {!grid_of_vectors_naive} the block coalescing both associates
+    same-shift products differently and reorders the dense passes by
+    ascending shift: the two paths agree to rounding (see EXPERIMENTS.md
+    for the tolerance policy), exactly bit-identical only when every
+    shift is unique and the faults already appear in ascending-shift
+    order. *)
+
+val grid_of_vectors_naive :
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
+  probs:float array ->
+  values:float array ->
+  bins:int ->
+  unit ->
+  t
+(** The historical one-dense-sweep-per-fault grid pass, retained as the
+    reference side of the fast-vs-legacy differential oracle. Same
+    rounding, sizing and shard semantics as {!grid_of_vectors}. *)
 
 val grid_single : ?pool:Exec.Pool.t -> ?shards:int -> Universe.t -> bins:int -> t
 val grid_pair : ?pool:Exec.Pool.t -> ?shards:int -> Universe.t -> bins:int -> t

@@ -19,16 +19,80 @@ let risk_ratio_partial ps i =
     let ds2 = 2.0 *. ps.(i) *. prod_except_squared ps i in
     ((ds2 *. s1) -. (s2 *. ds1)) /. (s1 *. s1)
 
-let risk_ratio_gradient ?pool ?shards ps =
-  (* Each partial is O(n), the gradient O(n^2); the partials are pure, so
-     they shard over index slices into a preallocated result array. Every
-     shard writes exactly what the sequential loop would — no RNG, no
-     merge — so the output is independent of both pool size and shard
-     count here. *)
+(* Incremental formulation of the full gradient. A single pass builds
+   compensated prefix/suffix sums of log1p(-p_j) and log1p(-p_j^2);
+   prod_except_one ps i is then exp(pre.(i) + suf.(i + 1)) and each
+   partial costs O(1), so the whole gradient is O(n) instead of the
+   naive O(n^2).
+
+   Prefix + suffix — not the global product divided by one factor — so a
+   coordinate with p_i = 1 stays exact: its own -infinity log term is
+   excluded from the sums for index i rather than divided back out as a
+   0/0. Kahan accumulators propagate an interior -infinity cleanly (the
+   compensation is dropped on a non-finite sum), so other coordinates
+   correctly see exp(-inf) = 0, exactly as the naive sum-over-j path
+   does. The two prob_some terms are loop invariants, computed once.
+
+   Summation order differs from the naive per-index Kahan sums, so
+   results agree only to rounding; the incremental-vs-naive differential
+   oracle and property suite pin the agreement (see EXPERIMENTS.md for
+   the tolerance policy). *)
+let incremental_partials ps =
+  let n = Array.length ps in
+  let s1 = Fault_count.prob_some ps in
+  if Stats.is_zero s1 then fun _ -> nan
+  else begin
+    let pre1 = Array.make (n + 1) 0.0 and pre2 = Array.make (n + 1) 0.0 in
+    let suf1 = Array.make (n + 1) 0.0 and suf2 = Array.make (n + 1) 0.0 in
+    let a1 = Kahan.create () and a2 = Kahan.create () in
+    for i = 0 to n - 1 do
+      Kahan.add a1 (Special.log1p (-.ps.(i)));
+      Kahan.add a2 (Special.log1p (-.(ps.(i) *. ps.(i))));
+      pre1.(i + 1) <- Kahan.total a1;
+      pre2.(i + 1) <- Kahan.total a2
+    done;
+    Kahan.reset a1;
+    Kahan.reset a2;
+    for i = n - 1 downto 0 do
+      Kahan.add a1 (Special.log1p (-.ps.(i)));
+      Kahan.add a2 (Special.log1p (-.(ps.(i) *. ps.(i))));
+      suf1.(i) <- Kahan.total a1;
+      suf2.(i) <- Kahan.total a2
+    done;
+    let s2 = Fault_count.prob_some (Array.map (fun p -> p *. p) ps) in
+    fun i ->
+      let ds1 = exp (pre1.(i) +. suf1.(i + 1)) in
+      let ds2 = 2.0 *. ps.(i) *. exp (pre2.(i) +. suf2.(i + 1)) in
+      ((ds2 *. s1) -. (s2 *. ds1)) /. (s1 *. s1)
+  end
+
+let check_shards ~what shards =
+  match shards with
+  | Some s when s < 1 ->
+      invalid_arg (Printf.sprintf "Sensitivity.%s: shards must be >= 1" what)
+  | _ -> ()
+
+let risk_ratio_gradient ?pool:_ ?shards ps =
+  (* O(n) total: cheaper than dispatching even one shard task, so the
+     pool is accepted for API compatibility but never engaged. The
+     output never depended on pool or shard count before and still does
+     not. *)
+  check_shards ~what:"risk_ratio_gradient" shards;
+  let partial = incremental_partials ps in
+  Array.init (Array.length ps) partial
+
+let risk_ratio_gradient_naive ?pool ?shards ps =
+  (* Retained O(n^2) reference path: each partial is an independent O(n)
+     Kahan sum, sharded over index slices into a preallocated result
+     array. Every shard writes exactly what the sequential loop would —
+     no RNG, no merge — so the output is independent of both pool size
+     and shard count. Kept as the differential-oracle anchor for the
+     incremental path above. *)
   let n = Array.length ps in
   let shards =
     let s = match shards with Some s -> s | None -> Exec.default_shards () in
-    if s < 1 then invalid_arg "Sensitivity.risk_ratio_gradient: shards must be >= 1";
+    if s < 1 then
+      invalid_arg "Sensitivity.risk_ratio_gradient_naive: shards must be >= 1";
     min s (max 1 n)
   in
   let grad = Array.make n 0.0 in
@@ -45,7 +109,13 @@ let risk_ratio_gradient ?pool ?shards ps =
 
 let risk_ratio_k_derivative ~b ~k =
   (* Chain rule for p_i = k b_i: dR/dk = sum_i b_i dR/dp_i. Appendix B
-     proves this is non-negative for 0 <= k b_i <= 1. *)
+     proves this is non-negative for 0 <= k b_i <= 1. O(n) via the same
+     prefix/suffix machinery as the gradient. *)
+  let ps = Array.map (fun bi -> k *. bi) b in
+  let partial = incremental_partials ps in
+  Kahan.sum_over (Array.length b) (fun i -> b.(i) *. partial i)
+
+let risk_ratio_k_derivative_naive ~b ~k =
   let ps = Array.map (fun bi -> k *. bi) b in
   Kahan.sum_over (Array.length b) (fun i -> b.(i) *. risk_ratio_partial ps i)
 

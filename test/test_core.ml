@@ -448,6 +448,58 @@ let test_of_mass_merging () =
   Alcotest.(check int) "merged duplicates" 2 (Core.Pfd_dist.size d);
   check_close "cdf mid" 0.5 (Core.Pfd_dist.cdf d 0.05)
 
+let test_of_mass_rejects_nan () =
+  Alcotest.check_raises "NaN support point"
+    (Invalid_argument "Pfd_dist.of_mass: NaN support point") (fun () ->
+      ignore (Core.Pfd_dist.of_mass [ (0.1, 0.5); (nan, 0.5) ]));
+  Alcotest.check_raises "NaN mass"
+    (Invalid_argument "Pfd_dist.of_mass: NaN mass") (fun () ->
+      ignore (Core.Pfd_dist.of_mass [ (0.1, 0.5); (0.2, nan) ]));
+  (* NaN is rejected even on points the positive-mass filter would drop *)
+  Alcotest.check_raises "NaN mass on zero-mass point"
+    (Invalid_argument "Pfd_dist.of_mass: NaN support point") (fun () ->
+      ignore (Core.Pfd_dist.of_mass [ (0.1, 0.5); (nan, 0.0) ]))
+
+let test_of_sorted_arrays () =
+  (* bit-parity with of_mass on the same points, zero-mass points
+     dropped before the strictly-increasing check *)
+  let d =
+    Core.Pfd_dist.of_sorted_arrays
+      [| 0.0; 0.05; 0.05; 0.1 |]
+      [| 0.2; 0.0; 0.3; 0.5 |]
+  in
+  let via_mass =
+    Core.Pfd_dist.of_mass [ (0.0, 0.2); (0.05, 0.3); (0.1, 0.5) ]
+  in
+  Alcotest.(check (array int64))
+    "support bit-identical to of_mass"
+    (Array.map Int64.bits_of_float (Core.Pfd_dist.support via_mass))
+    (Array.map Int64.bits_of_float (Core.Pfd_dist.support d));
+  Alcotest.(check (array int64))
+    "masses bit-identical to of_mass"
+    (Array.map Int64.bits_of_float (Core.Pfd_dist.masses via_mass))
+    (Array.map Int64.bits_of_float (Core.Pfd_dist.masses d));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Pfd_dist.of_sorted_arrays: length mismatch") (fun () ->
+      ignore (Core.Pfd_dist.of_sorted_arrays [| 0.1 |] [| 0.5; 0.5 |]));
+  Alcotest.check_raises "unsorted support"
+    (Invalid_argument
+       "Pfd_dist.of_sorted_arrays: support not sorted strictly increasing")
+    (fun () ->
+      ignore (Core.Pfd_dist.of_sorted_arrays [| 0.2; 0.1 |] [| 0.5; 0.5 |]));
+  Alcotest.check_raises "duplicate support"
+    (Invalid_argument
+       "Pfd_dist.of_sorted_arrays: support not sorted strictly increasing")
+    (fun () ->
+      ignore (Core.Pfd_dist.of_sorted_arrays [| 0.1; 0.1 |] [| 0.5; 0.5 |]));
+  Alcotest.check_raises "NaN support"
+    (Invalid_argument "Pfd_dist.of_sorted_arrays: NaN support point")
+    (fun () ->
+      ignore (Core.Pfd_dist.of_sorted_arrays [| 0.1; nan |] [| 0.5; 0.5 |]));
+  Alcotest.check_raises "no positive mass"
+    (Invalid_argument "Pfd_dist.of_sorted_arrays: no positive mass")
+    (fun () -> ignore (Core.Pfd_dist.of_sorted_arrays [| 0.1 |] [| 0.0 |]))
+
 (* ------------------------------------------------------------------ *)
 (* Normal_approx and Assessment                                        *)
 (* ------------------------------------------------------------------ *)
@@ -696,6 +748,9 @@ let () =
           Alcotest.test_case "exact limit" `Quick test_exact_limit;
           Alcotest.test_case "sampling" `Slow test_sampling_from_dist;
           Alcotest.test_case "mass merging" `Quick test_of_mass_merging;
+          Alcotest.test_case "of_mass rejects NaN" `Quick
+            test_of_mass_rejects_nan;
+          Alcotest.test_case "of_sorted_arrays" `Quick test_of_sorted_arrays;
         ] );
       ( "normal_approx-assessment",
         [

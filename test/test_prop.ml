@@ -402,6 +402,141 @@ let test_prop_pfd_dist_invariance () =
         (Core.Pfd_dist.grid_single ~pool:p4 ~shards:1 universe ~bins:256)
         (Core.Pfd_dist.grid_single ~pool:p4 ~shards universe ~bins:256))
 
+(* ---- incremental kernels vs their retained naive references ---- *)
+
+(* Tolerance for incremental-vs-naive gradient agreement (the
+   EXPERIMENTS.md ulp policy): the paths differ only in summation
+   association, so per-coordinate drift is rounding-level; the bound
+   1e-9 * (1 + ||grad_naive||_inf) is orders of magnitude above any
+   observed drift yet fails instantly on a formula divergence. *)
+let gradient_tol naive =
+  let inf_norm =
+    Array.fold_left
+      (fun acc d -> if Float.is_nan d then acc else Float.max acc (Float.abs d))
+      0.0 naive
+  in
+  1e-9 *. (1.0 +. inf_norm)
+
+let check_gradient_agreement name ps =
+  let fast = Core.Sensitivity.risk_ratio_gradient ps in
+  let naive = Core.Sensitivity.risk_ratio_gradient_naive ps in
+  check_int (name ^ ": length") (Array.length naive) (Array.length fast);
+  let tol = gradient_tol naive in
+  Array.iteri
+    (fun i f ->
+      let ok =
+        (Float.is_nan f && Float.is_nan naive.(i))
+        || Float.abs (f -. naive.(i)) <= tol
+      in
+      check_bool
+        (Printf.sprintf "%s: coordinate %d (%.17g vs %.17g, tol %.3g)" name i
+           f naive.(i) tol)
+        true ok)
+    fast
+
+(* Incremental O(n) gradient vs the retained O(n^2) reference over
+   random universes, including coordinates forced to the p = 0 and
+   p = 1 boundaries the prefix/suffix construction exists for (a
+   1-coordinate pushes every other partial through exp(-inf) = 0). *)
+let test_prop_gradient_incremental_vs_naive () =
+  Prop.check ~cases:80 "incremental gradient matches the naive reference"
+    (Prop.pair (Prop.universe ~max_faults:24 ()) (Prop.int_range 0 3))
+    (fun (u, mode) ->
+      let ps = Core.Universe.ps u in
+      let n = Array.length ps in
+      if mode land 1 = 1 then ps.(0) <- 0.0;
+      if mode land 2 = 2 then ps.(n - 1) <- 1.0;
+      check_gradient_agreement "gradient" ps;
+      (* Appendix B: p_i = k b_i; random universes keep k b_i in [0,1] *)
+      let b = Core.Universe.ps u in
+      let k = 0.7 in
+      let dk = Core.Sensitivity.risk_ratio_k_derivative ~b ~k in
+      let dk_naive = Core.Sensitivity.risk_ratio_k_derivative_naive ~b ~k in
+      check_bool
+        (Printf.sprintf "dR/dk agrees (%.17g vs %.17g)" dk dk_naive)
+        true
+        (Float.abs (dk -. dk_naive) <= 1e-12 *. (1.0 +. Float.abs dk_naive)))
+
+(* The ping-pong exact convolution claims full bit-identity with the
+   legacy allocating pass: same float ops in the same order, only the
+   buffer management and finalisation plumbing changed. *)
+let test_prop_exact_fast_vs_legacy () =
+  Prop.check ~cases:40 "exact convolution: ping-pong = legacy, bitwise"
+    (Prop.universe ~max_faults:10 ())
+    (fun u ->
+      let values = Core.Universe.qs u in
+      let check_for name probs =
+        let fast = Core.Pfd_dist.exact_of_vectors ~shards:1 ~probs ~values () in
+        let legacy = Core.Pfd_dist.exact_of_vectors_naive ~probs ~values () in
+        check_bits (name ^ ": support") (Core.Pfd_dist.support legacy)
+          (Core.Pfd_dist.support fast);
+        check_bits (name ^ ": masses") (Core.Pfd_dist.masses legacy)
+          (Core.Pfd_dist.masses fast)
+      in
+      let ps = Core.Universe.ps u in
+      check_for "single" ps;
+      check_for "pair" (Array.map (fun p -> p *. p) ps))
+
+(* The binomial-block grid convolution reorders and reassociates the
+   per-fault products, so in general it agrees with the per-fault
+   reference only to rounding; when every active fault's shift is
+   unique and already ascending in index order each block is a
+   single-fault legacy pass in the legacy order, and the claim sharpens
+   to bit-identity. *)
+let test_prop_grid_fast_vs_legacy () =
+  Prop.check ~cases:60 "grid convolution: blocks vs per-fault reference"
+    (Prop.pair (Prop.universe ~max_faults:10 ()) (Prop.int_range 32 512))
+    (fun (u, bins) ->
+      let probs = Core.Universe.ps u and values = Core.Universe.qs u in
+      let fast =
+        Core.Pfd_dist.grid_of_vectors ~shards:1 ~probs ~values ~bins ()
+      in
+      let legacy =
+        Core.Pfd_dist.grid_of_vectors_naive ~shards:1 ~probs ~values ~bins ()
+      in
+      (* replicate the kernel's shift rounding to decide which claim
+         applies to this case *)
+      let total = Kahan.sum_array values in
+      let step =
+        if total > 0.0 then total /. float_of_int (bins - 1) else 1.0
+      in
+      let active_shifts =
+        Array.to_list
+          (Array.mapi
+             (fun i q ->
+               if probs.(i) > 0.0 then
+                 int_of_float (Float.round (q /. step))
+               else 0)
+             values)
+        |> List.filter (fun s -> s > 0)
+      in
+      let rec strictly_ascending = function
+        | a :: (b :: _ as rest) -> a < b && strictly_ascending rest
+        | _ -> true
+      in
+      if strictly_ascending active_shifts then begin
+        check_bits "support (unique ascending shifts)"
+          (Core.Pfd_dist.support legacy)
+          (Core.Pfd_dist.support fast);
+        check_bits "masses (unique ascending shifts)"
+          (Core.Pfd_dist.masses legacy)
+          (Core.Pfd_dist.masses fast)
+      end
+      else begin
+        let close what a b =
+          check_bool
+            (Printf.sprintf "%s agrees to rounding (%.17g vs %.17g)" what a b)
+            true
+            (Stats.approx_eq ~abs:1e-12 a b)
+        in
+        close "mean" (Core.Pfd_dist.mean legacy) (Core.Pfd_dist.mean fast);
+        close "variance" (Core.Pfd_dist.variance legacy)
+          (Core.Pfd_dist.variance fast);
+        close "P(X > 0)"
+          (Core.Pfd_dist.prob_positive legacy)
+          (Core.Pfd_dist.prob_positive fast)
+      end)
+
 (* ---- the harness itself ---- *)
 
 (* A deliberately failing property: the harness must find it, shrink
@@ -527,6 +662,12 @@ let () =
             test_prop_campaign_invariance;
           Alcotest.test_case "pfd_dist invariance" `Quick
             test_prop_pfd_dist_invariance;
+          Alcotest.test_case "gradient incremental vs naive" `Quick
+            test_prop_gradient_incremental_vs_naive;
+          Alcotest.test_case "exact convolution fast vs legacy" `Quick
+            test_prop_exact_fast_vs_legacy;
+          Alcotest.test_case "grid convolution fast vs legacy" `Quick
+            test_prop_grid_fast_vs_legacy;
         ] );
       ( "harness",
         [

@@ -56,8 +56,11 @@ let check_kernel i k =
   name
 
 (* Kernels whose presence the gate insists on: the determinism
-   demonstrator pairs (same computation on 1 vs 4 domains) and the
-   proven-in-use evidence ingest path. *)
+   demonstrator pairs (same computation on 1 vs 4 domains), the
+   proven-in-use evidence ingest path, and the rewritten hot-path
+   kernels (both the headline names and the explicit incremental/fast
+   variants, so a regenerated artefact can never silently drop the
+   perf-trajectory anchors). *)
 let required_kernels =
   [
     "mc-estimate-parallel/1dom";
@@ -65,6 +68,10 @@ let required_kernels =
     "fleet-observe-parallel/1dom";
     "fleet-observe-parallel/4dom";
     "evidence-ingest/1e6";
+    "sensitivity-gradient/n=1000";
+    "sensitivity-gradient-incremental/n=1000";
+    "exact-pfd-dist/n=16";
+    "exact-pfd-dist-fast/n=16";
   ]
 
 (* Minimum OLS fit quality a full-mode artefact may publish for the

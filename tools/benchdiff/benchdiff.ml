@@ -1,0 +1,167 @@
+(* benchdiff — compare two divrel-bench/2 kernel-timing artefacts.
+
+   Usage: benchdiff [--max-regression PCT] BASELINE.json CANDIDATE.json
+
+   Prints a per-kernel table of baseline vs candidate ns/run and the
+   speedup factor (baseline / candidate: > 1 means the candidate got
+   faster), plus the kernels present on only one side. The regression
+   gate fails any kernel whose candidate timing is more than
+   [--max-regression] percent slower than the baseline (default 25,
+   i.e. speedup < 1/1.25) — but only when BOTH artefacts carry real
+   timings (mode = "full"). A smoke artefact runs each kernel a couple
+   of times purely for structural validation, so its numbers mean
+   nothing; diffing against one still prints the table (the @ci smoke
+   does exactly that to keep this tool continuously exercised) but
+   skips the gate with a note.
+
+   Exit codes: 0 ok (or gate skipped), 1 regression past the threshold,
+   2 unreadable/unparseable artefact or bad usage. *)
+
+let fail code msg =
+  prerr_endline ("benchdiff: " ^ msg);
+  exit code
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type artefact = {
+  path : string;
+  mode : string;
+  git_rev : string;
+  (* kernel name -> ns_per_run (kernels publishing no estimate are
+     dropped: nothing to compare). *)
+  kernels : (string * float) list;
+}
+
+let load path =
+  let source =
+    match read_file path with
+    | s -> s
+    | exception Sys_error e -> fail 2 ("cannot read " ^ path ^ ": " ^ e)
+  in
+  let json =
+    match Obs.Json.parse source with
+    | Ok j -> j
+    | Error e -> fail 2 (path ^ ": malformed JSON: " ^ e)
+  in
+  (match Option.bind (Obs.Json.member "schema" json) Obs.Json.to_string with
+  | Some "divrel-bench/2" -> ()
+  | Some s ->
+      fail 2 (Printf.sprintf "%s: unexpected schema %S (want divrel-bench/2)" path s)
+  | None -> fail 2 (path ^ ": missing schema marker"));
+  let mode =
+    match Option.bind (Obs.Json.member "mode" json) Obs.Json.to_string with
+    | Some m -> m
+    | None -> "full" (* older artefacts carry no mode: real timings *)
+  in
+  let git_rev =
+    Option.value ~default:"unknown"
+      (Option.bind (Obs.Json.member "git_rev" json) Obs.Json.to_string)
+  in
+  let kernels =
+    match Option.bind (Obs.Json.member "kernels" json) Obs.Json.to_list with
+    | None | Some [] -> fail 2 (path ^ ": no kernels array")
+    | Some ks ->
+        List.filter_map
+          (fun k ->
+            match
+              ( Option.bind (Obs.Json.member "name" k) Obs.Json.to_string,
+                Option.bind (Obs.Json.member "ns_per_run" k) Obs.Json.to_float )
+            with
+            | Some name, Some ns when ns > 0.0 -> Some (name, ns)
+            | _ -> None)
+          ks
+  in
+  { path; mode; git_rev; kernels }
+
+let pretty_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let () =
+  let usage () =
+    fail 2 "usage: benchdiff [--max-regression PCT] BASELINE.json CANDIDATE.json"
+  in
+  let max_regression = ref 25.0 in
+  let positional = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--max-regression" :: v :: tl -> (
+        match float_of_string_opt v with
+        | Some p when p >= 0.0 ->
+            max_regression := p;
+            parse_args tl
+        | _ -> fail 2 ("invalid --max-regression value: " ^ v))
+    | "--max-regression" :: [] -> usage ()
+    | a :: tl ->
+        positional := a :: !positional;
+        parse_args tl
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let base_path, cand_path =
+    match List.rev !positional with [ b; c ] -> (b, c) | _ -> usage ()
+  in
+  let base = load base_path and cand = load cand_path in
+  Printf.printf "benchdiff: baseline %s (mode %s, rev %s)\n" base.path base.mode
+    base.git_rev;
+  Printf.printf "benchdiff: candidate %s (mode %s, rev %s)\n" cand.path
+    cand.mode cand.git_rev;
+  let shared =
+    List.filter_map
+      (fun (name, b_ns) ->
+        Option.map
+          (fun c_ns -> (name, b_ns, c_ns))
+          (List.assoc_opt name cand.kernels))
+      base.kernels
+  in
+  if shared = [] then fail 2 "no kernel appears in both artefacts";
+  let shared =
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) shared
+  in
+  Printf.printf "\n%-40s %12s %12s %9s\n" "kernel" "baseline" "candidate"
+    "speedup";
+  Printf.printf "%s\n" (String.make 76 '-');
+  List.iter
+    (fun (name, b_ns, c_ns) ->
+      Printf.printf "%-40s %12s %12s %8.2fx\n" name (pretty_ns b_ns)
+        (pretty_ns c_ns) (b_ns /. c_ns))
+    shared;
+  let only_in which mine theirs =
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name theirs) then
+          Printf.printf "benchdiff: note: %s only in %s\n" name which)
+      mine
+  in
+  only_in "baseline" base.kernels cand.kernels;
+  only_in "candidate" cand.kernels base.kernels;
+  if base.mode <> "full" || cand.mode <> "full" then begin
+    Printf.printf
+      "benchdiff: note: %s artefact is smoke-mode (timings not meaningful), \
+       regression gate skipped\n"
+      (if base.mode <> "full" then "baseline" else "candidate");
+    exit 0
+  end;
+  let limit = 1.0 +. (!max_regression /. 100.0) in
+  let regressions =
+    List.filter (fun (_, b_ns, c_ns) -> c_ns > b_ns *. limit) shared
+  in
+  if regressions <> [] then begin
+    List.iter
+      (fun (name, b_ns, c_ns) ->
+        Printf.eprintf
+          "benchdiff: REGRESSION %s: %s -> %s (%.1f%% slower, threshold %.1f%%)\n"
+          name (pretty_ns b_ns) (pretty_ns c_ns)
+          (((c_ns /. b_ns) -. 1.0) *. 100.0)
+          !max_regression)
+      regressions;
+    exit 1
+  end;
+  Printf.printf
+    "benchdiff: ok (%d shared kernels, none more than %.1f%% slower)\n"
+    (List.length shared) !max_regression
