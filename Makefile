@@ -60,6 +60,7 @@ check:
 	DIVREL_DOMAINS=2 PROP_SEED=314159 dune exec test/test_diff.exe
 	dune build @bench-smoke
 	dune build @evidence-smoke
+	dune build @adjudication-smoke
 
 # Proven-in-use evidence pipeline, end to end: log a fleet campaign
 # (E26, seed 42) and stream the run log through the assessor with

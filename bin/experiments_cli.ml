@@ -190,15 +190,36 @@ let check_cmd =
     let doc = "Monte-Carlo replications per scenario." in
     Arg.(value & opt int 1200 & info [ "replications" ] ~docv:"R" ~doc)
   in
-  let run seed cases replications trace metrics log domains shards =
+  let only_arg =
+    let doc =
+      "Sweep only oracles whose id starts with $(docv) (e.g. \
+       'adjudication' for the calculus law oracles)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "only" ] ~docv:"PREFIX" ~doc)
+  in
+  let run seed cases replications only trace metrics log domains shards =
     setup_logs ();
     setup_parallelism domains shards;
     if cases < 1 then `Error (false, "--cases must be >= 1")
     else if replications < 1 then `Error (false, "--replications must be >= 1")
+    else if
+      match only with
+      | None -> false
+      | Some prefix ->
+          not
+            (List.exists
+               (String.starts_with ~prefix)
+               (Check.Registry.ids ()))
+    then
+      `Error
+        ( false,
+          Printf.sprintf "--only matches no oracle; known: %s"
+            (String.concat ", " (Check.Registry.ids ())) )
     else begin
       let sweep =
         with_telemetry ~label:"check.sweep" ~seed ~trace ~metrics ~log
-          (fun () -> Check.Registry.sweep ~seed ~cases ~replications ())
+          (fun () -> Check.Registry.sweep ~seed ~cases ~replications ?only ())
       in
       print_string (Check.Registry.render sweep);
       if Check.Registry.passed sweep then `Ok ()
@@ -221,8 +242,8 @@ let check_cmd =
           fixed --seed; exits non-zero on any disagreement.")
     Term.(
       ret
-        (const run $ seed_arg $ cases_arg $ replications_arg $ trace_arg
-       $ metrics_arg $ log_arg $ domains_arg $ shards_arg))
+        (const run $ seed_arg $ cases_arg $ replications_arg $ only_arg
+       $ trace_arg $ metrics_arg $ log_arg $ domains_arg $ shards_arg))
 
 (* Declared-profile specs for the evidence verb: the drift detector
    needs the profile the operating evidence was supposedly collected

@@ -542,6 +542,304 @@ let fleet_vs_moments =
              ~trials ());
       ])
 
+(* ---- the adjudication calculus: law oracles (DESIGN.md
+   "Adjudication algebra") ---- *)
+
+(* Deterministic random calculus terms and output vectors, drawn from
+   the oracle's salted stream — the same term family test/prop.ml's
+   generators explore, so a law failure found by either harness replays
+   in the other. *)
+let rec random_term rng ~depth =
+  let leaf () =
+    if Rng.int rng 4 = 0 then Simulator.Adjudicator.unit
+    else Simulator.Adjudicator.vote ~required:(1 + Rng.int rng 4)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Rng.int rng 4 with
+    | 0 | 1 -> leaf ()
+    | 2 ->
+        Simulator.Adjudicator.compose
+          (random_term rng ~depth:(depth - 1))
+          (random_term rng ~depth:(depth - 1))
+    | _ ->
+        Simulator.Adjudicator.fallback
+          (random_term rng ~depth:(depth - 1))
+          (random_term rng ~depth:(depth - 1))
+
+let random_outputs rng ~n ~abstaining =
+  List.init n (fun _ ->
+      match Rng.int rng (if abstaining then 3 else 2) with
+      | 0 -> Simulator.Channel.Shutdown
+      | 1 -> Simulator.Channel.No_action
+      | _ -> Simulator.Channel.Abstain)
+
+(* A vector long enough for every sub-term the law rewrites [term] into:
+   combine raises below [min_channels], and the laws quantify over
+   vectors both sides accept. *)
+let random_vector_for rng term ~abstaining =
+  let n = Simulator.Adjudicator.min_channels term + Rng.int rng 5 in
+  random_outputs rng ~n ~abstaining
+
+let shuffled rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let law_outcome ~oracle ~quantity ~cases ~violations =
+  mk ~oracle ~quantity ~analytic:0.0 ~simulated:(float_of_int violations)
+    {
+      Compare.pass = violations = 0;
+      comparator = "exact";
+      detail =
+        Printf.sprintf "%d/%d randomized cases violate the law" violations
+          cases;
+    }
+
+let adjudication_unit_identity =
+  let id = "adjudication-unit-identity" in
+  Oracle.make ~id
+    ~description:
+      "compose unit t, compose t unit and t decide identically on every \
+       output vector (unit is a two-sided identity of compose)"
+    (fun s ->
+      let rng = Oracle.rng s ~salt:14 in
+      let cases = 200 in
+      let left = ref 0 and right = ref 0 in
+      for _ = 1 to cases do
+        let t = random_term rng ~depth:3 in
+        let outs = random_vector_for rng t ~abstaining:true in
+        let base = Simulator.Adjudicator.combine t outs in
+        let lu =
+          Simulator.Adjudicator.(combine (compose unit t)) outs
+        in
+        let ru =
+          Simulator.Adjudicator.(combine (compose t unit)) outs
+        in
+        if not (Simulator.Channel.equal lu base) then incr left;
+        if not (Simulator.Channel.equal ru base) then incr right
+      done;
+      [
+        law_outcome ~oracle:id ~quantity:"compose unit t ≡ t" ~cases
+          ~violations:!left;
+        law_outcome ~oracle:id ~quantity:"compose t unit ≡ t" ~cases
+          ~violations:!right;
+      ])
+
+let adjudication_vote_permutation =
+  let id = "adjudication-vote-permutation" in
+  Oracle.make ~id
+    ~description:
+      "every calculus term adjudicates counts, so combine is invariant \
+       under permutation of the channel output vector"
+    (fun s ->
+      let rng = Oracle.rng s ~salt:15 in
+      let cases = 200 in
+      let violations = ref 0 in
+      for _ = 1 to cases do
+        let t = random_term rng ~depth:3 in
+        let outs = random_vector_for rng t ~abstaining:true in
+        let a = Simulator.Adjudicator.combine t outs in
+        let b = Simulator.Adjudicator.combine t (shuffled rng outs) in
+        if not (Simulator.Channel.equal a b) then incr violations
+      done;
+      [
+        law_outcome ~oracle:id ~quantity:"combine t (perm v) ≡ combine t v"
+          ~cases ~violations:!violations;
+      ])
+
+let adjudication_fallback_idempotent =
+  let id = "adjudication-fallback-idempotent" in
+  Oracle.make ~id
+    ~description:
+      "fallback t t decides as t on abstain-free vectors (the backup \
+       can only be reached when the primary abstains)"
+    (fun s ->
+      let rng = Oracle.rng s ~salt:16 in
+      let cases = 200 in
+      let violations = ref 0 in
+      for _ = 1 to cases do
+        let t = random_term rng ~depth:3 in
+        let outs = random_vector_for rng t ~abstaining:false in
+        let a = Simulator.Adjudicator.(combine (fallback t t)) outs in
+        let b = Simulator.Adjudicator.combine t outs in
+        if not (Simulator.Channel.equal a b) then incr violations
+      done;
+      [
+        law_outcome ~oracle:id ~quantity:"fallback t t ≡ t (abstain-free)"
+          ~cases ~violations:!violations;
+      ])
+
+(* The seed's adjudicator, reimplemented verbatim (polymorphic equality,
+   double traversal and all) as the reference the calculus must
+   bit-match on its legacy domain. *)
+let legacy_combine ~required outputs =
+  let shutdowns =
+    List.length
+      (List.filter (fun o -> o = Simulator.Channel.Shutdown) outputs)
+  in
+  if shutdowns >= required then Simulator.Channel.Shutdown
+  else Simulator.Channel.No_action
+
+let adjudication_vote_vs_legacy =
+  let id = "adjudication-vote-vs-legacy" in
+  Oracle.make ~id
+    ~description:
+      "vote ~required bit-matches the retained legacy M-out-of-N \
+       adjudicator (and its system_fails predicate) on abstain-free \
+       vectors, across every threshold the vector admits"
+    (fun s ->
+      let rng = Oracle.rng s ~salt:17 in
+      let cases = 200 in
+      let checked = ref 0 in
+      let decisions = ref 0 and fails = ref 0 in
+      for _ = 1 to cases do
+        let n = 1 + Rng.int rng 7 in
+        let outs = random_outputs rng ~n ~abstaining:false in
+        for required = 1 to n do
+          incr checked;
+          let t = Simulator.Adjudicator.m_out_of_n ~required in
+          let calculus = Simulator.Adjudicator.combine t outs in
+          let legacy = legacy_combine ~required outs in
+          if not (Simulator.Channel.equal calculus legacy) then
+            incr decisions;
+          if
+            Simulator.Adjudicator.system_fails t outs
+            <> not (Simulator.Channel.equal legacy Simulator.Channel.Shutdown)
+          then incr fails
+        done
+      done;
+      [
+        law_outcome ~oracle:id ~quantity:"combine ≡ legacy decision"
+          ~cases:!checked ~violations:!decisions;
+        law_outcome ~oracle:id ~quantity:"system_fails ≡ legacy predicate"
+          ~cases:!checked ~violations:!fails;
+      ])
+
+(* Independent evaluator of the graceful-degradation scenario — a 2-of-3
+   vote falling back to an OR when abstentions break the quorum —
+   written directly over the output list, with no reference to the
+   counts algebra. *)
+let reference_cascade outs =
+  let shut =
+    List.length
+      (List.filter
+         (fun o -> Simulator.Channel.equal o Simulator.Channel.Shutdown)
+         outs)
+  in
+  let active =
+    List.length
+      (List.filter
+         (fun o -> not (Simulator.Channel.equal o Simulator.Channel.Abstain))
+         outs)
+  in
+  if shut >= 2 then Simulator.Channel.Shutdown
+  else if active >= 2 then Simulator.Channel.No_action
+  else if shut >= 1 then Simulator.Channel.Shutdown
+  else if active >= 1 then Simulator.Channel.No_action
+  else Simulator.Channel.Abstain
+
+let adjudication_graceful_degradation =
+  let id = "adjudication-graceful-degradation" in
+  Oracle.make ~id
+    ~description:
+      "fallback (vote 2) (vote 1) over 3 self-checking channels: exact \
+       agreement with an independent list evaluator, and the \
+       policy_defeat_prob closed form vs both the list-path and \
+       counts-path samplers"
+    (fun s ->
+      let rng = Oracle.rng s ~salt:18 in
+      let cascade =
+        Simulator.Adjudicator.(
+          fallback (vote ~required:2) (vote ~required:1))
+      in
+      let channels = 3 and detection = 0.35 in
+      let cases = 300 in
+      let violations = ref 0 in
+      for _ = 1 to cases do
+        let outs = random_outputs rng ~n:channels ~abstaining:true in
+        if
+          not
+            (Simulator.Channel.equal
+               (Simulator.Adjudicator.combine cascade outs)
+               (reference_cascade outs))
+        then incr violations
+      done;
+      let u = Scenario.universe s in
+      let policy = Simulator.Adjudicator.policy cascade in
+      let mu = Core.Voting.policy_mu policy ~channels ~detection u in
+      let sigma = Core.Voting.policy_sigma policy ~channels ~detection u in
+      let bound = Core.Universe.total_q u in
+      let r = Scenario.replications s in
+      let list_samples =
+        Sim.adjudicated rng u ~channels ~detection ~adjudicator:cascade
+          ~replications:r
+      in
+      let counts_samples =
+        Array.init r (fun _ ->
+            Simulator.Devteam.adjudicated_system_pfd_from_universe ~detection
+              rng u ~channels ~adjudicator:cascade)
+      in
+      let list_mean = Stats.mean list_samples in
+      let counts_mean = Stats.mean counts_samples in
+      [
+        law_outcome ~oracle:id ~quantity:"combine ≡ independent evaluator"
+          ~cases ~violations:!violations;
+        mk ~oracle:id ~quantity:"policy_mu vs list-path sampler" ~analytic:mu
+          ~simulated:list_mean
+          (Compare.mean_z ~bound ~expected:mu ~sigma ~trials:r ~mean:list_mean
+             ());
+        mk ~oracle:id ~quantity:"policy_mu vs counts-path sampler"
+          ~analytic:mu ~simulated:counts_mean
+          (Compare.mean_z ~bound ~expected:mu ~sigma ~trials:r
+             ~mean:counts_mean ());
+      ])
+
+let adjudication_policy_vs_binomial =
+  let id = "adjudication-policy-vs-binomial" in
+  Oracle.make ~id
+    ~description:
+      "policy closed forms at detection 0 (binom_pmf double sum over \
+       carriers and abstainers) vs the legacy Voting closed forms \
+       (regularized-incomplete-beta tails) on the scenario architecture"
+    (fun s ->
+      let u = Scenario.universe s and arch = Scenario.arch s in
+      let channels = Core.Voting.channels arch in
+      let policy = Core.Voting.arch_policy arch in
+      let mu = Core.Voting.mu arch u in
+      let pmu = Core.Voting.policy_mu policy ~channels u in
+      let var = Core.Voting.var arch u in
+      let pvar = Core.Voting.policy_var policy ~channels u in
+      let p_some = Core.Voting.p_some_system_fault arch u in
+      let pp_some =
+        Core.Voting.policy_p_some_system_fault policy ~channels u
+      in
+      let rr = Core.Voting.risk_ratio_vs_single arch u in
+      let prr =
+        Core.Voting.policy_risk_ratio_vs_single policy ~channels u
+      in
+      let dist = Core.Voting.policy_pfd_dist policy ~channels u in
+      [
+        mk ~oracle:id ~quantity:"policy_mu vs Voting.mu" ~analytic:mu
+          ~simulated:pmu (Compare.approx mu pmu);
+        mk ~oracle:id ~quantity:"policy_var vs Voting.var" ~analytic:var
+          ~simulated:pvar
+          (Compare.approx ~abs:1e-15 var pvar);
+        mk ~oracle:id ~quantity:"policy_p_some vs Voting.p_some"
+          ~analytic:p_some ~simulated:pp_some (Compare.approx p_some pp_some);
+        mk ~oracle:id ~quantity:"policy risk ratio vs Voting risk ratio"
+          ~analytic:rr ~simulated:prr (Compare.approx rr prr);
+        mk ~oracle:id ~quantity:"policy_pfd_dist mean vs policy_mu"
+          ~analytic:pmu
+          ~simulated:(Core.Pfd_dist.mean dist)
+          (Compare.approx pmu (Core.Pfd_dist.mean dist));
+      ])
+
 let all =
   [
     moments_vs_montecarlo;
@@ -559,6 +857,12 @@ let all =
     gradient_incremental_vs_naive;
     pfd_fast_vs_legacy;
     fleet_vs_moments;
+    adjudication_unit_identity;
+    adjudication_vote_permutation;
+    adjudication_fallback_idempotent;
+    adjudication_vote_vs_legacy;
+    adjudication_graceful_degradation;
+    adjudication_policy_vs_binomial;
   ]
 
 let ids () = List.map Oracle.id all
@@ -580,11 +884,20 @@ type sweep = {
   per_oracle : (string * int * int) list;  (* id, checks, failures *)
 }
 
-let sweep ?max_channels ?max_faults ?replications ~seed ~cases () =
+let sweep ?max_channels ?max_faults ?replications ?only ~seed ~cases () =
   if cases < 1 then invalid_arg "Registry.sweep: cases must be >= 1";
+  let chosen =
+    match only with
+    | None -> all
+    | Some prefix ->
+        List.filter (fun o -> String.starts_with ~prefix (Oracle.id o)) all
+  in
+  if chosen = [] then
+    invalid_arg "Registry.sweep: no registered oracle matches the prefix";
+  let chosen_ids = List.map Oracle.id chosen in
   let parent = Rng.create ~seed in
   let tally = Hashtbl.create 16 in
-  List.iter (fun id -> Hashtbl.replace tally id (0, 0)) (ids ());
+  List.iter (fun id -> Hashtbl.replace tally id (0, 0)) chosen_ids;
   let checks = ref 0 in
   let failed = ref [] in
   for case = 0 to cases - 1 do
@@ -603,7 +916,7 @@ let sweep ?max_channels ?max_faults ?replications ~seed ~cases () =
         Hashtbl.replace tally o.Oracle.oracle (n + 1, f + bad);
         incr checks;
         if bad = 1 then failed := (case, scenario, o) :: !failed)
-      (run_all scenario)
+      (List.concat_map (fun o -> Oracle.run o scenario) chosen)
   done;
   let per_oracle =
     List.map
@@ -611,7 +924,7 @@ let sweep ?max_channels ?max_faults ?replications ~seed ~cases () =
         match Hashtbl.find_opt tally id with
         | Some (n, f) -> (id, n, f)
         | None -> (id, 0, 0))
-      (ids ())
+      chosen_ids
   in
   { cases; checks = !checks; failed = List.rev !failed; per_oracle }
 

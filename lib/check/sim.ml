@@ -75,5 +75,40 @@ let concrete_pairs rng space ~replications =
   done;
   (singles, pairs)
 
+(* Adjudicated-system sampler through the *list* path: per replication,
+   develop [channels] abstract fault sets and, per fault, build the
+   actual [Channel.output] vector (clean channel -> Shutdown, undetected
+   carrier -> No_action, self-detected carrier -> Abstain) and hand it
+   to [Adjudicator.combine]. Independent of both the counts fast path
+   ([Devteam.adjudicated_system_pfd], the runner's decision table) and
+   the closed form ([Voting.policy_defeat_prob]): a bug in the fold, the
+   decision table or the binomial integration breaks three-way
+   agreement. *)
+let adjudicated rng universe ~channels ~detection ~adjudicator ~replications =
+  if replications < 1 then
+    invalid_arg "Sim.adjudicated: replications must be >= 1";
+  if channels < 1 then invalid_arg "Sim.adjudicated: channels must be >= 1";
+  if detection < 0.0 || detection > 1.0 then
+    invalid_arg "Sim.adjudicated: detection outside [0, 1]";
+  let n = Core.Universe.size universe in
+  let ps = Core.Universe.ps universe in
+  let qs = Core.Universe.qs universe in
+  let outputs = Array.make_matrix channels n Simulator.Channel.Shutdown in
+  Array.init replications (fun _ ->
+      for c = 0 to channels - 1 do
+        for i = 0 to n - 1 do
+          outputs.(c).(i) <-
+            (if Rng.bool rng ~p:ps.(i) then
+               if detection > 0.0 && Rng.bool rng ~p:detection then
+                 Simulator.Channel.Abstain
+               else Simulator.Channel.No_action
+             else Simulator.Channel.Shutdown)
+        done
+      done;
+      Kahan.sum_over n (fun i ->
+          let vector = List.init channels (fun c -> outputs.(c).(i)) in
+          if Simulator.Adjudicator.system_fails adjudicator vector then qs.(i)
+          else 0.0))
+
 let count_positive samples =
   Array.fold_left (fun acc x -> if x > 0.0 then acc + 1 else acc) 0 samples

@@ -43,5 +43,22 @@ val concrete_pairs :
 (** [(single_pfds, pair_pfds)] of concretely developed 1-out-of-2
     pairs (true set-intersection PFDs). *)
 
+val adjudicated :
+  Numerics.Rng.t ->
+  Core.Universe.t ->
+  channels:int ->
+  detection:float ->
+  adjudicator:Simulator.Adjudicator.t ->
+  replications:int ->
+  float array
+(** Sampled PFDs of an adjudicated system through the *list* path: per
+    replication and fault, the actual [Channel.output] vector (clean ->
+    Shutdown, undetected carrier -> No_action, self-detected carrier ->
+    Abstain) is adjudicated by [Simulator.Adjudicator.combine].
+    Independent of the counts fast path and of
+    [Core.Voting.policy_defeat_prob]'s closed form. Raises
+    [Invalid_argument] when [replications < 1], [channels < 1] or
+    [detection] is outside [0, 1]. *)
+
 val count_positive : float array -> int
 (** Number of strictly positive samples. *)

@@ -56,3 +56,111 @@ val confidence_bound : t -> Universe.t -> k:float -> float
 (** mu + k sigma for the voted system. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Adjudication combinator calculus}
+
+    A small algebra of adjudicators over abstaining channel outputs
+    (Boiten, "Diversity and Adjudication"). The executable adjudicator
+    in [Simulator.Adjudicator] and the analytic closed forms below
+    share these counts-level semantics, so simulated and closed-form
+    PFD evaluations of the same composed adjudicator are directly
+    cross-checkable (see the [lib/check] adjudication oracles).
+
+    Laws, by construction:
+    - [compose Unit a], [compose a Unit] and [a] decide identically;
+    - every policy is permutation-invariant in the channel outputs
+      (the semantics only see vote counts);
+    - [fallback a a] decides as [a] on abstain-free inputs;
+    - [Vote r] on abstain-free inputs decides exactly as the legacy
+      M-out-of-N adjudicator (Shutdown iff >= r shutdown votes). *)
+
+type decision = Shutdown | No_action | Abstain
+(** Verdict lattice: a demand is handled iff the decision is
+    [Shutdown]; [Abstain] means the adjudicator could not reach a
+    verdict (quorum loss under abstention). *)
+
+type policy =
+  | Unit  (** identity: passes the vote vector through unchanged *)
+  | Vote of int
+      (** [Vote r]: Shutdown on >= r shutdown votes; Abstain when
+          fewer than r channels are still voting (quorum loss);
+          No_action otherwise *)
+  | Compose of policy * policy
+      (** cascade: the second stage adjudicates the survivors (the
+          collapsed vote vector) of the first *)
+  | Fallback of policy * policy
+      (** [Fallback (a, b)]: decide by [a]; if [a]'s verdict collapses
+          to Abstain, re-adjudicate the original votes through [b] *)
+
+val vote : required:int -> policy
+(** [Vote required], validated. Raises [Invalid_argument] when
+    [required < 1]. *)
+
+val compose : policy -> policy -> policy
+val fallback : policy -> policy -> policy
+
+val decide :
+  policy -> shutdowns:int -> no_actions:int -> abstains:int -> decision
+(** Adjudicate a vote-count vector. Raises [Invalid_argument] on
+    negative counts. Channel-order independence is structural: only
+    counts enter. *)
+
+val policy_min_channels : policy -> int
+(** Fewest channel outputs on which the policy can reach a definite
+    verdict — the arity floor enforced by
+    [Simulator.Adjudicator.combine] ([Vote r] needs [r] channels; a
+    fallback needs only its cheaper branch). *)
+
+val equal_decision : decision -> decision -> bool
+val equal_policy : policy -> policy -> bool
+val pp_decision : Format.formatter -> decision -> unit
+
+val pp_policy : Format.formatter -> policy -> unit
+(** Prints [Vote] nodes in the legacy adjudicator's notation
+    ("1-out-of-N (OR)", "[r]-out-of-N"). *)
+
+val arch_policy : t -> policy
+(** The fixed M-out-of-N architecture as a calculus instance. *)
+
+(** {2 Closed-form PFD evaluation for composed adjudicators}
+
+    Channels carry a fault independently with probability [p]; a
+    carried fault is caught by the channel's development-time
+    self-check with probability [detection] (default 0 — a channel
+    without self-checks never abstains). On a demand in the fault's
+    region, clean channels vote Shutdown, undetected carriers
+    No_action, detected carriers Abstain; the system mishandles the
+    demand iff [decide] of those counts is not [Shutdown]. With
+    [detection = 0], [policy_defeat_prob (Vote r)] reduces to
+    [fault_defeats_system] and the [policy_*] forms below reduce to
+    their fixed-architecture counterparts. *)
+
+val binom_pmf : n:int -> p:float -> int -> float
+(** [binom_pmf ~n ~p k] is P(Bin(n, p) = k); exact at p = 0 and 1. *)
+
+val policy_defeat_prob :
+  policy -> channels:int -> ?detection:float -> p:float -> unit -> float
+
+val policy_system_fault_probs :
+  policy -> channels:int -> ?detection:float -> Universe.t -> float array
+
+val policy_mu :
+  policy -> channels:int -> ?detection:float -> Universe.t -> float
+(** Mean system PFD of the adjudicated system over a universe. *)
+
+val policy_var :
+  policy -> channels:int -> ?detection:float -> Universe.t -> float
+
+val policy_sigma :
+  policy -> channels:int -> ?detection:float -> Universe.t -> float
+
+val policy_p_some_system_fault :
+  policy -> channels:int -> ?detection:float -> Universe.t -> float
+
+val policy_risk_ratio_vs_single :
+  policy -> channels:int -> ?detection:float -> Universe.t -> float
+
+val policy_pfd_dist :
+  policy -> channels:int -> ?detection:float -> Universe.t -> Pfd_dist.t
+(** Exact PFD distribution of the adjudicated system (per-fault defeat
+    probabilities convolved over the universe's q vector). *)

@@ -1,24 +1,47 @@
-type t = { required : int }
+type t = Core.Voting.policy
 
-let one_out_of_n = { required = 1 }
+let unit = Core.Voting.Unit
 
-let m_out_of_n ~required =
-  if required < 1 then invalid_arg "Adjudicator.m_out_of_n: required must be >= 1";
-  { required }
+let vote ~required =
+  if required < 1 then
+    invalid_arg "Adjudicator.m_out_of_n: required must be >= 1";
+  Core.Voting.Vote required
 
-let required t = t.required
+let compose = Core.Voting.compose
+let fallback = Core.Voting.fallback
+let one_out_of_n = vote ~required:1
+let m_out_of_n ~required = vote ~required
+let policy t = t
+let of_policy p = p
+let min_channels = Core.Voting.policy_min_channels
+
+let output_of_decision = function
+  | Core.Voting.Shutdown -> Channel.Shutdown
+  | Core.Voting.No_action -> Channel.No_action
+  | Core.Voting.Abstain -> Channel.Abstain
+
+let decide_counts t ~shutdowns ~no_actions ~abstains =
+  output_of_decision (Core.Voting.decide t ~shutdowns ~no_actions ~abstains)
 
 let combine t outputs =
-  if outputs = [] then invalid_arg "Adjudicator.combine: no channel outputs";
-  if t.required > List.length outputs then
-    invalid_arg "Adjudicator.combine: more votes required than channels";
-  let shutdowns =
-    List.length (List.filter (fun o -> o = Channel.Shutdown) outputs)
+  (match outputs with
+  | [] -> invalid_arg "Adjudicator.combine: no channel outputs"
+  | _ :: _ -> ());
+  let shutdowns, no_actions, abstains =
+    List.fold_left
+      (fun (s, na, ab) o ->
+        match o with
+        | Channel.Shutdown -> (s + 1, na, ab)
+        | Channel.No_action -> (s, na + 1, ab)
+        | Channel.Abstain -> (s, na, ab + 1))
+      (0, 0, 0) outputs
   in
-  if shutdowns >= t.required then Channel.Shutdown else Channel.No_action
+  if min_channels t > shutdowns + no_actions + abstains then
+    invalid_arg "Adjudicator.combine: more votes required than channels";
+  decide_counts t ~shutdowns ~no_actions ~abstains
 
-let system_fails t outputs = combine t outputs = Channel.No_action
+let system_fails t outputs =
+  not (Channel.equal (combine t outputs) Channel.Shutdown)
 
-let pp ppf t =
-  if t.required = 1 then Fmt.string ppf "1-out-of-N (OR)"
-  else Fmt.pf ppf "%d-out-of-N" t.required
+let equal = Core.Voting.equal_policy
+let pp = Core.Voting.pp_policy

@@ -172,28 +172,45 @@ type architecture_report = {
   survival_1000 : float;
 }
 
+let measure_architecture rng ~label ~system ~missions ~max_demands =
+  let arch_span = Obs.Trace.enter ("campaign.architecture:" ^ label) in
+  let analytic_pfd = Protection.true_pfd system in
+  let report =
+    {
+      label;
+      analytic_pfd;
+      simulated_mttf = estimate_mttf rng ~system ~missions ~max_demands;
+      survival_1000 =
+        mission_survival_probability ~pfd:analytic_pfd ~mission_demands:1000;
+    }
+  in
+  Obs.Trace.leave arch_span;
+  report
+
 let compare_architectures rng space ~architectures ~missions ~max_demands =
   List.map
     (fun (label, channels, required) ->
       if channels <= 0 then
         invalid_arg "Campaign.compare_architectures: channels must be positive";
-      let arch_span = Obs.Trace.enter ("campaign.architecture:" ^ label) in
       let mk () =
         Channel.create ~name:label (Devteam.develop rng space)
       in
       let system =
         Protection.voted ~required (List.init channels (fun _ -> mk ()))
       in
-      let analytic_pfd = Protection.true_pfd system in
-      let report =
-        {
-          label;
-          analytic_pfd;
-          simulated_mttf = estimate_mttf rng ~system ~missions ~max_demands;
-          survival_1000 =
-            mission_survival_probability ~pfd:analytic_pfd ~mission_demands:1000;
-        }
+      measure_architecture rng ~label ~system ~missions ~max_demands)
+    architectures
+
+let compare_adjudicated ?detection rng space ~architectures ~missions
+    ~max_demands =
+  List.map
+    (fun (label, channels, adjudicator) ->
+      if channels <= 0 then
+        invalid_arg "Campaign.compare_adjudicated: channels must be positive";
+      let system =
+        Protection.create ~adjudicator
+          (Array.to_list
+             (Devteam.develop_channels ?detection rng space ~count:channels))
       in
-      Obs.Trace.leave arch_span;
-      report)
+      measure_architecture rng ~label ~system ~missions ~max_demands)
     architectures

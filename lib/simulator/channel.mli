@@ -1,23 +1,51 @@
 (** One channel of the protection system of Fig. 1: a software version that
     reads the sensed plant state (the demand) and either commands shutdown
-    (correct, since a demand by definition requires intervention) or fails
-    to act. *)
+    (correct, since a demand by definition requires intervention), fails to
+    act, or — for self-checking channels — abstains when its runtime check
+    catches the failure and withholds the wrong output. *)
 
-type output = Shutdown | No_action
-(** Binary channel output; the paper's OR adjudication combines these. *)
+type output = Shutdown | No_action | Abstain
+(** Channel output lattice. The paper's binary channels never produce
+    [Abstain]; self-checking channels (Boiten's "Diversity and
+    Adjudication") abstain on demands their check covers. *)
 
 type t
 
-val create : name:string -> Demandspace.Version.t -> t
+val create : ?self_check:Numerics.Bitset.t -> name:string -> Demandspace.Version.t -> t
+(** [self_check] is the set of demands on which the channel detects its
+    own failure at runtime: on a demand in both the version's failure set
+    and [self_check], the channel abstains instead of silently failing.
+    Raises [Invalid_argument] when the set is sized to a different demand
+    space. Without [self_check] the channel behaves exactly as the seed's
+    binary channel. *)
+
 val name : t -> string
 val version : t -> Demandspace.Version.t
 
+val self_check : t -> Numerics.Bitset.t option
+
 val respond : t -> Demandspace.Demand.t -> output
-(** [No_action] exactly when the demand is a failure point of the channel's
-    version. *)
+(** [Shutdown] off the version's failure set; on it, [Abstain] when the
+    self-check covers the demand, [No_action] otherwise. *)
 
 val fails_on : t -> Demandspace.Demand.t -> bool
+(** The demand lies in the version's failure set (the output is not
+    [Shutdown], whether the failure is silent or self-detected). *)
+
+val abstains_on : t -> Demandspace.Demand.t -> bool
+
+val abstain_set : t -> Numerics.Bitset.t
+(** Fresh bitset of demands on which the channel abstains: the failure
+    set intersected with the self-check set (empty for channels without
+    one). Feeds the runner's Bitset fast path. *)
+
 val pfd : t -> float
+
+val equal_output : output -> output -> bool
+
+val equal : output -> output -> bool
+(** Alias of {!equal_output} — the adjudicated vote is the module's
+    comparable value. Prefer this over polymorphic [=]. *)
 
 val pp_output : Format.formatter -> output -> unit
 val pp : Format.formatter -> t -> unit

@@ -20,6 +20,37 @@ let develop_pair rng space = (develop rng space, develop rng space)
 
 let develop_many rng space ~count = Array.init count (fun _ -> develop rng space)
 
+(* Self-checking development (Boiten): after the version's faults are
+   drawn exactly as [develop] draws them, each introduced fault is
+   independently caught by the team's runtime checks with probability
+   [detection]; the channel then abstains (instead of failing silently)
+   on every demand in a detected fault's region. [detection = 0] makes
+   no detection draws and returns a channel byte-identical in behaviour
+   to [Channel.create] over [develop]. *)
+let develop_channel ?(detection = 0.0) rng space ~name =
+  if detection < 0.0 || detection > 1.0 then
+    invalid_arg "Devteam.develop_channel: detection outside [0, 1]";
+  let version = develop rng space in
+  if detection <= 0.0 then Channel.create ~name version
+  else
+    let detected =
+      List.filter
+        (fun _ -> Rng.bool rng ~p:detection)
+        (Demandspace.Version.present_faults version)
+    in
+    match detected with
+    | [] -> Channel.create ~name version
+    | _ :: _ ->
+        let self_check =
+          Demandspace.Region.union_members
+            (List.map (Demandspace.Space.region space) detected)
+        in
+        Channel.create ~self_check ~name version
+
+let develop_channels ?detection rng space ~count =
+  Array.init count (fun i ->
+      develop_channel ?detection rng space ~name:(Printf.sprintf "ch%d" i))
+
 (* ------------------------------------------------------------------ *)
 (* Compiled universes                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -98,3 +129,44 @@ let compiled_of universe =
 let version_pfd_from_universe rng universe = version_pfd rng (compiled_of universe)
 
 let pair_pfd_from_universe rng universe = pair_pfd rng (compiled_of universe)
+
+(* Sampled PFD of an N-channel system behind an arbitrary adjudicator
+   term: develop [channels] abstract versions (each drawn in
+   [sample_into]'s i = n-1 downto 0 order, channel by channel), give
+   carried faults a [detection] chance of being caught by the channel's
+   self-check, and charge q_i for every fault whose carrier/abstainer
+   counts adjudicate to anything but Shutdown. With [detection = 0] and
+   [adjudicator = vote ~required:r] this samples exactly the M-out-of-N
+   system the closed form [Core.Voting.policy_defeat_prob] integrates. *)
+let adjudicated_system_pfd ?(detection = 0.0) rng c ~channels ~adjudicator =
+  if channels < 1 then
+    invalid_arg "Devteam.adjudicated_system_pfd: channels must be >= 1";
+  if detection < 0.0 || detection > 1.0 then
+    invalid_arg "Devteam.adjudicated_system_pfd: detection outside [0, 1]";
+  let carriers = Array.make c.n 0 in
+  let abstainers = Array.make c.n 0 in
+  for _ = 1 to channels do
+    for i = c.n - 1 downto 0 do
+      if Rng.bool rng ~p:c.ps.(i) then begin
+        carriers.(i) <- carriers.(i) + 1;
+        if detection > 0.0 && Rng.bool rng ~p:detection then
+          abstainers.(i) <- abstainers.(i) + 1
+      end
+    done
+  done;
+  let k = Kahan.create () in
+  for i = 0 to c.n - 1 do
+    let f = carriers.(i) and ab = abstainers.(i) in
+    match
+      Adjudicator.decide_counts adjudicator ~shutdowns:(channels - f)
+        ~no_actions:(f - ab) ~abstains:ab
+    with
+    | Channel.Shutdown -> ()
+    | Channel.No_action | Channel.Abstain -> Kahan.add k c.qs.(i)
+  done;
+  Kahan.total k
+
+let adjudicated_system_pfd_from_universe ?detection rng universe ~channels
+    ~adjudicator =
+  adjudicated_system_pfd ?detection rng (compiled_of universe) ~channels
+    ~adjudicator

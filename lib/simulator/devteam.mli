@@ -22,6 +22,28 @@ val develop_many :
 (** A population of versions (e.g. the 27 of the Knight–Leveson
     replication). *)
 
+val develop_channel :
+  ?detection:float ->
+  Numerics.Rng.t ->
+  Demandspace.Space.t ->
+  name:string ->
+  Channel.t
+(** Develop one (possibly self-checking) channel: the version is drawn
+    exactly as by {!develop}, then each introduced fault is caught by
+    the team's runtime checks independently with probability
+    [detection] (default 0 — no extra draws, plain binary channel); the
+    channel abstains on demands in detected faults' regions. Raises
+    [Invalid_argument] when [detection] is outside [0, 1]. *)
+
+val develop_channels :
+  ?detection:float ->
+  Numerics.Rng.t ->
+  Demandspace.Space.t ->
+  count:int ->
+  Channel.t array
+(** [count] independently developed self-checking channels, named
+    ch0..ch(count-1). *)
+
 (** {2 Compiled abstract development}
 
     The Monte Carlo hot path samples millions of abstract versions from
@@ -54,3 +76,29 @@ val version_pfd_from_universe : Numerics.Rng.t -> Core.Universe.t -> float
 val pair_pfd_from_universe :
   Numerics.Rng.t -> Core.Universe.t -> float * float * float
 (** [pair_pfd] through the same per-domain compile cache. *)
+
+val adjudicated_system_pfd :
+  ?detection:float ->
+  Numerics.Rng.t ->
+  compiled ->
+  channels:int ->
+  adjudicator:Adjudicator.t ->
+  float
+(** Sampled PFD of an N-channel system behind an arbitrary adjudicator
+    term: [channels] abstract versions are drawn, carried faults are
+    self-detected with probability [detection], and a fault's measure
+    counts when its carrier/abstainer counts adjudicate to anything but
+    Shutdown. With [detection = 0] and [adjudicator = vote ~required:r]
+    this is the sampled counterpart of
+    {!Core.Voting.policy_defeat_prob}'s closed form. Raises
+    [Invalid_argument] when [channels < 1] or [detection] is outside
+    [0, 1]. *)
+
+val adjudicated_system_pfd_from_universe :
+  ?detection:float ->
+  Numerics.Rng.t ->
+  Core.Universe.t ->
+  channels:int ->
+  adjudicator:Adjudicator.t ->
+  float
+(** [adjudicated_system_pfd] through the per-domain compile cache. *)

@@ -62,6 +62,16 @@ let deploy_singles ?pool ?shards rng space ~plants =
       Protection.create
         [ Channel.create ~name:"single" (Devteam.develop rng space) ])
 
+let deploy_adjudicated ?pool ?shards ?detection ?(adjudicator = Adjudicator.one_out_of_n)
+    rng space ~plants ~channels =
+  if channels < 1 then
+    invalid_arg "Fleet.deploy_adjudicated: channels must be >= 1";
+  if Adjudicator.min_channels adjudicator > channels then
+    invalid_arg "Fleet.deploy_adjudicated: more votes required than channels";
+  deploy ?pool ?shards ~what:"deploy_adjudicated" rng ~plants (fun rng ->
+      Protection.create ~adjudicator
+        (Array.to_list (Devteam.develop_channels ?detection rng space ~count:channels)))
+
 let observe ?pool ?shards rng systems ~demands_per_plant =
   if demands_per_plant <= 0 then
     invalid_arg "Fleet.observe: demands_per_plant must be positive";

@@ -47,6 +47,25 @@ val deploy_singles :
 (** Single-version plants (the comparison fleet). Same sharding
     contract as {!deploy_pairs}. *)
 
+val deploy_adjudicated :
+  ?pool:Exec.Pool.t ->
+  ?shards:int ->
+  ?detection:float ->
+  ?adjudicator:Adjudicator.t ->
+  Numerics.Rng.t ->
+  Demandspace.Space.t ->
+  plants:int ->
+  channels:int ->
+  Protection.t array
+(** Each plant gets [channels] independently developed (optionally
+    self-checking, see {!Devteam.develop_channel}) channels behind an
+    arbitrary adjudicator term — e.g. a cascaded vote with a fallback
+    for graceful degradation under abstention. Default adjudicator is
+    the paper's OR; default [detection] is 0 (plain binary channels).
+    Same sharding contract as {!deploy_pairs}. Raises
+    [Invalid_argument] when [channels < 1] or the adjudicator needs
+    more channels than [channels]. *)
+
 val observe :
   ?pool:Exec.Pool.t ->
   ?shards:int ->

@@ -2,7 +2,7 @@ type t = { channels : Channel.t list; adjudicator : Adjudicator.t }
 
 let create ?(adjudicator = Adjudicator.one_out_of_n) channels =
   if channels = [] then invalid_arg "Protection.create: no channels";
-  if Adjudicator.required adjudicator > List.length channels then
+  if Adjudicator.min_channels adjudicator > List.length channels then
     invalid_arg "Protection.create: more votes required than channels";
   { channels; adjudicator }
 
@@ -24,12 +24,14 @@ let respond t demand =
   Adjudicator.combine t.adjudicator
     (List.map (fun c -> Channel.respond c demand) t.channels)
 
-let fails_on t demand = respond t demand = Channel.No_action
+let fails_on t demand =
+  not (Channel.equal (respond t demand) Channel.Shutdown)
 
 let true_pfd t =
   (* Exact: count, demand by demand, whether enough channels survive.
      (For the 1-out-of-N adjudicator this is the intersection of the
-     channels' failure sets.) *)
+     channels' failure sets.) An unresolved [Abstain] verdict counts as
+     a system failure: the plant misses the intervention either way. *)
   let space = space t in
   let profile = Demandspace.Space.profile space in
   let acc = Numerics.Kahan.create () in

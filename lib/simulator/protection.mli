@@ -28,6 +28,9 @@ val respond : t -> Demandspace.Demand.t -> Channel.output
 (** System output on a demand. *)
 
 val fails_on : t -> Demandspace.Demand.t -> bool
+(** True when the adjudicated output is not [Shutdown] — a silent
+    [No_action] and an unresolved [Abstain] both leave the demand
+    unhandled. *)
 
 val true_pfd : t -> float
 (** Exact system PFD: sweep of the demand space under the operational

@@ -14,6 +14,7 @@ let h_estimated_pfd = Obs.Metrics.histogram "runner.estimated_pfd"
 type stats = {
   demands : int;
   system_failures : int;
+  system_abstentions : int;
   channel_failures : int array;
   coincident_failures : int;
   estimated_pfd : float;
@@ -45,8 +46,26 @@ let run ?(log = false) rng ~system ~demand_count =
          (fun c -> Demandspace.Version.failure_set (Channel.version c))
          channels)
   in
-  let required = Adjudicator.required (Protection.adjudicator system) in
+  let abstain_sets = Array.of_list (List.map Channel.abstain_set channels) in
+  let any_self_check =
+    List.exists (fun c -> Channel.self_check c <> None) channels
+  in
+  (* Adjudication is permutation-invariant (counts-level semantics), so
+     the verdict on a demand is a pure function of (failed, abstaining)
+     channel counts — tabulated once here, making the per-demand cost of
+     an arbitrary combinator term one array lookup. Row f covers
+     abstention counts 0..f; the unreachable upper triangle is padding. *)
+  let adjudicator = Protection.adjudicator system in
+  let decision_table =
+    Array.init (n_channels + 1) (fun f ->
+        Array.init (n_channels + 1) (fun ab ->
+            if ab > f then Channel.No_action
+            else
+              Adjudicator.decide_counts adjudicator
+                ~shutdowns:(n_channels - f) ~no_actions:(f - ab) ~abstains:ab))
+  in
   let system_failures = ref 0 in
+  let system_abstentions = ref 0 in
   let coincident = ref 0 in
   let space = Protection.space system in
   let plant = Plant.create ~profile:(Demandspace.Space.profile space) rng in
@@ -68,21 +87,29 @@ let run ?(log = false) rng ~system ~demand_count =
       let id = Array.unsafe_get block i in
       if log_hist then hist.(id) <- hist.(id) + 1;
       let n_failed = ref 0 in
+      let n_abstained = ref 0 in
       for c = 0 to n_channels - 1 do
         if Bitset.mem (Array.unsafe_get failure_sets c) id then begin
           channel_failures.(c) <- channel_failures.(c) + 1;
-          incr n_failed
+          incr n_failed;
+          if
+            any_self_check
+            && Bitset.mem (Array.unsafe_get abstain_sets c) id
+          then incr n_abstained
         end
       done;
       if !n_failed >= 2 then incr coincident;
-      if n_channels - !n_failed < required then begin
-        incr system_failures;
-        if log then
-          Logs.debug (fun m ->
-              m "step %d: system failure on %a" (!step + i + 1)
-                Demandspace.Demand.pp
-                (Demandspace.Demand.of_int id))
-      end
+      match decision_table.(!n_failed).(!n_abstained) with
+      | Channel.Shutdown -> ()
+      | (Channel.No_action | Channel.Abstain) as verdict ->
+          if Channel.equal verdict Channel.Abstain then
+            incr system_abstentions;
+          incr system_failures;
+          if log then
+            Logs.debug (fun m ->
+                m "step %d: system failure on %a" (!step + i + 1)
+                  Demandspace.Demand.pp
+                  (Demandspace.Demand.of_int id))
     done;
     step := !step + n
   done;
@@ -127,6 +154,7 @@ let run ?(log = false) rng ~system ~demand_count =
   {
     demands = demand_count;
     system_failures = !system_failures;
+    system_abstentions = !system_abstentions;
     channel_failures;
     coincident_failures = !coincident;
     estimated_pfd;
@@ -145,4 +173,9 @@ let pp_stats ppf s =
      channel failures: %a@,coincident failures: %d@]"
     s.demands s.system_failures s.estimated_pfd (fst s.pfd_ci) (snd s.pfd_ci)
     Fmt.(array ~sep:sp int)
-    s.channel_failures s.coincident_failures
+    s.channel_failures s.coincident_failures;
+  (* Abstention-free runs (every legacy configuration) print exactly as
+     before; the extra line appears only when an adjudicator actually
+     left demands unresolved. *)
+  if s.system_abstentions > 0 then
+    Fmt.pf ppf "@ (unresolved abstentions: %d)" s.system_abstentions

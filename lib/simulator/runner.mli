@@ -8,7 +8,14 @@
 type stats = {
   demands : int;
   system_failures : int;
-      (** demands on which every channel failed (OR adjudication) *)
+      (** demands the adjudicated system left unhandled (for the
+          paper's OR adjudication: demands on which every channel
+          failed); includes the unresolved abstentions below *)
+  system_abstentions : int;
+      (** system failures on which the adjudicator's verdict was
+          [Abstain] (quorum lost to self-checking channels) rather than
+          a silent [No_action]; always 0 without self-checking
+          channels *)
   channel_failures : int array;  (** per-channel failure counts *)
   coincident_failures : int;
       (** demands on which at least two channels failed *)

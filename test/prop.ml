@@ -193,20 +193,111 @@ let voting_arch ?(max_channels = 4) () =
       let required = 1 + Numerics.Rng.int rng channels in
       Core.Voting.create ~channels ~required)
 
-(* Adjudicator configurations, shrinking toward the paper's OR
+(* Plain quorum adjudicators, shrinking toward the paper's OR
    adjudicator (required = 1), consistent with {!voting_arch}'s
-   1-out-of-2 target. *)
+   1-out-of-2 target. For full calculus terms see {!adjudicator_term}. *)
 let adjudicator ?(max_required = 4) () =
   if max_required < 1 then
     invalid_arg "Prop.adjudicator: max_required must be >= 1";
   make
     ~shrink:(fun adj ->
-      shrink_int_toward 1 (Simulator.Adjudicator.required adj)
+      shrink_int_toward 1 (Simulator.Adjudicator.min_channels adj)
       |> Seq.map (fun required -> Simulator.Adjudicator.m_out_of_n ~required))
     ~pp:Simulator.Adjudicator.pp
     (fun rng ->
       Simulator.Adjudicator.m_out_of_n
         ~required:(1 + Numerics.Rng.int rng max_required))
+
+(* Adjudicator calculus terms: leaves are [unit] and quorum votes,
+   internal nodes [compose]/[fallback], nested up to [max_depth].
+   Greedy shrinking proposes the paper's OR vote first, then each
+   immediate subterm, then single-step quorum reductions — so a failing
+   algebraic property lands on [vote ~required:1] or the smallest
+   combinator that still breaks it. *)
+let adjudicator_term ?(max_depth = 3) ?(max_required = 4) () =
+  if max_depth < 0 then
+    invalid_arg "Prop.adjudicator_term: max_depth must be >= 0";
+  if max_required < 1 then
+    invalid_arg "Prop.adjudicator_term: max_required must be >= 1";
+  let leaf rng =
+    if Numerics.Rng.int rng 4 = 0 then Simulator.Adjudicator.unit
+    else
+      Simulator.Adjudicator.vote
+        ~required:(1 + Numerics.Rng.int rng max_required)
+  in
+  let rec gen_term rng depth =
+    if depth <= 0 then leaf rng
+    else
+      match Numerics.Rng.int rng 4 with
+      | 0 | 1 -> leaf rng
+      | 2 ->
+          Simulator.Adjudicator.compose
+            (gen_term rng (depth - 1))
+            (gen_term rng (depth - 1))
+      | _ ->
+          Simulator.Adjudicator.fallback
+            (gen_term rng (depth - 1))
+            (gen_term rng (depth - 1))
+  in
+  let shrink_term t =
+    match Simulator.Adjudicator.policy t with
+    | Core.Voting.Vote 1 -> Seq.empty
+    | Core.Voting.Vote r ->
+        shrink_int_toward 1 r
+        |> Seq.map (fun required -> Simulator.Adjudicator.vote ~required)
+    | Core.Voting.Unit -> Seq.return Simulator.Adjudicator.one_out_of_n
+    | Core.Voting.Compose (a, b) | Core.Voting.Fallback (a, b) ->
+        List.to_seq
+          [
+            Simulator.Adjudicator.one_out_of_n;
+            Simulator.Adjudicator.of_policy a;
+            Simulator.Adjudicator.of_policy b;
+          ]
+  in
+  make ~shrink:shrink_term ~pp:Simulator.Adjudicator.pp (fun rng ->
+      gen_term rng max_depth)
+
+(* Channel output vectors, abstention-bearing by default. Shrinks by
+   dropping the last output, then demoting the first Abstain to
+   No_action and the first No_action to Shutdown — toward the shortest,
+   most-binary counterexample. *)
+let channel_outputs ?(max_channels = 6) ?(abstaining = true) () =
+  if max_channels < 1 then
+    invalid_arg "Prop.channel_outputs: max_channels must be >= 1";
+  let demote = function
+    | Simulator.Channel.Abstain -> Some Simulator.Channel.No_action
+    | Simulator.Channel.No_action -> Some Simulator.Channel.Shutdown
+    | Simulator.Channel.Shutdown -> None
+  in
+  let rec demote_first = function
+    | [] -> None
+    | o :: rest -> (
+        match demote o with
+        | Some o' -> Some (o' :: rest)
+        | None -> Option.map (fun r -> o :: r) (demote_first rest))
+  in
+  make
+    ~shrink:(fun outs ->
+      let n = List.length outs in
+      Seq.append
+        (if n > 1 then Seq.return (List.filteri (fun i _ -> i < n - 1) outs)
+         else Seq.empty)
+        (match demote_first outs with
+        | Some outs' -> Seq.return outs'
+        | None -> Seq.empty))
+    ~pp:(fun ppf outs ->
+      Format.fprintf ppf "[@[%a@]]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           Simulator.Channel.pp_output)
+        outs)
+    (fun rng ->
+      let n = 1 + Numerics.Rng.int rng max_channels in
+      List.init n (fun _ ->
+          match Numerics.Rng.int rng (if abstaining then 3 else 2) with
+          | 0 -> Simulator.Channel.Shutdown
+          | 1 -> Simulator.Channel.No_action
+          | _ -> Simulator.Channel.Abstain))
 
 (* Paired universe/demand-space scenario for the differential oracle
    registry: regions disjoint by construction, so the universe

@@ -634,6 +634,219 @@ let test_fleet_reproducible () =
   Alcotest.(check (array (pair int int64)))
     "same (seed, shards) => byte-identical fleet" (run ()) (run ())
 
+(* ---- adjudication algebra: goldens, laws, legacy identity ---- *)
+
+let output_t =
+  Alcotest.testable Simulator.Channel.pp_output Simulator.Channel.equal
+
+let check_output = Alcotest.check output_t
+
+(* Captured immediately before the adjudicator-calculus refactor
+   (seed 42, the golden space, abstain-free channels): Runner, Campaign
+   and Fleet outputs must remain byte-identical now that the legacy
+   M-out-of-N vote is a calculus instance. *)
+let test_golden_seed42_runner_pins () =
+  let space = golden_space () in
+  let mk name faults =
+    Simulator.Channel.create ~name (Demandspace.Version.create space faults)
+  in
+  let system =
+    Simulator.Protection.voted ~required:2
+      [ mk "A" [ 0; 1 ]; mk "B" [ 1; 2 ]; mk "C" [ 0; 2 ] ]
+  in
+  let rng = Rng.create ~seed:42 in
+  let stats = Simulator.Runner.run rng ~system ~demand_count:20_000 in
+  check_int "system failures" 3218 stats.Simulator.Runner.system_failures;
+  check_int "unresolved abstentions" 0
+    stats.Simulator.Runner.system_abstentions;
+  check_int "coincident" 3218 stats.Simulator.Runner.coincident_failures;
+  Alcotest.(check (array int))
+    "channel failures" [| 3004; 1234; 2198 |]
+    stats.Simulator.Runner.channel_failures;
+  check_float_bits "estimated pfd" 0x1.4985f06f69446p-3
+    stats.Simulator.Runner.estimated_pfd;
+  check_int "draws" 40_000 (Rng.draws rng);
+  (* the same stream through a developed 1-out-of-2 pair *)
+  let rng2 = Rng.create ~seed:42 in
+  let va, vb = Simulator.Devteam.develop_pair rng2 space in
+  let pair =
+    Simulator.Protection.one_out_of_two
+      (Simulator.Channel.create ~name:"A" va)
+      (Simulator.Channel.create ~name:"B" vb)
+  in
+  let pstats = Simulator.Runner.run rng2 ~system:pair ~demand_count:20_000 in
+  check_int "pair system failures" 0 pstats.Simulator.Runner.system_failures;
+  check_int "pair coincident" 0 pstats.Simulator.Runner.coincident_failures;
+  Alcotest.(check (array int))
+    "pair channel failures" [| 0; 0 |]
+    pstats.Simulator.Runner.channel_failures;
+  check_int "pair draws" 40_006 (Rng.draws rng2);
+  check_float_bits "pair true pfd" 0.0 (Simulator.Protection.true_pfd pair)
+
+let test_golden_seed42_campaign_pins () =
+  let space = golden_space () in
+  let mk name faults =
+    Simulator.Channel.create ~name (Demandspace.Version.create space faults)
+  in
+  let system =
+    Simulator.Protection.voted ~required:2
+      [ mk "A" [ 0; 1 ]; mk "B" [ 1; 2 ]; mk "C" [ 0; 2 ] ]
+  in
+  let mttf shards =
+    let rng = Rng.create ~seed:42 in
+    Simulator.Campaign.estimate_mttf ~shards rng ~system ~missions:400
+      ~max_demands:2000
+  in
+  let est1 = mttf 1 in
+  check_int "shards=1 failures" 400 est1.Simulator.Campaign.failures;
+  check_int "shards=1 censored" 0 est1.Simulator.Campaign.censored;
+  check_float_bits "shards=1 mttf" 0x1.88p+2
+    est1.Simulator.Campaign.mean_time_to_failure;
+  check_float_bits "shards=1 rate" 0x1.4e5e0a72f0539p-3
+    est1.Simulator.Campaign.failure_rate;
+  Alcotest.(check (array int))
+    "shards=1 draws" [| 4900 |]
+    est1.Simulator.Campaign.shard_draws;
+  let est8 = mttf 8 in
+  check_float_bits "shards=8 mttf" 0x1.9451eb851eb85p+2
+    est8.Simulator.Campaign.mean_time_to_failure;
+  check_float_bits "shards=8 rate" 0x1.442dca4ed0e49p-3
+    est8.Simulator.Campaign.failure_rate;
+  Alcotest.(check (array int))
+    "shards=8 draws"
+    [| 562; 548; 666; 670; 638; 716; 690; 564 |]
+    est8.Simulator.Campaign.shard_draws;
+  let survival shards =
+    let rng = Rng.create ~seed:42 in
+    let frac =
+      Simulator.Campaign.simulate_mission_survival ~shards rng ~system
+        ~mission_demands:4 ~missions:400
+    in
+    (frac, Rng.draws rng)
+  in
+  let frac1, draws1 = survival 1 in
+  check_float_bits "survival shards=1" 0x1.dc28f5c28f5c3p-2 frac1;
+  check_int "survival shards=1 parent draws" 1 draws1;
+  let frac8, draws8 = survival 8 in
+  check_float_bits "survival shards=8" 0x1.eb851eb851eb8p-2 frac8;
+  check_int "survival shards=8 parent draws" 8 draws8
+
+let test_golden_seed42_fleet_pins () =
+  let space = golden_space () in
+  let fleet shards =
+    let rng = Rng.create ~seed:42 in
+    let systems = Simulator.Fleet.deploy_pairs ~shards rng space ~plants:12 in
+    fleet_signature
+      (Simulator.Fleet.observe ~shards rng systems ~demands_per_plant:800)
+  in
+  Alcotest.(check (array (pair int int64)))
+    "shards=1 pinned"
+    [|
+      (0, 0x0L);
+      (0, 0x0L);
+      (32, 0x3fa999999999999aL);
+      (0, 0x0L);
+      (0, 0x0L);
+      (4, 0x3f847ae147ae147bL);
+      (0, 0x0L);
+      (12, 0x3f847ae147ae147bL);
+      (0, 0x0L);
+      (0, 0x0L);
+      (0, 0x0L);
+      (14, 0x3f847ae147ae147bL);
+    |]
+    (fleet 1);
+  Alcotest.(check (array (pair int int64)))
+    "shards=8 pinned"
+    [|
+      (5, 0x3f847ae147ae147bL);
+      (9, 0x3f847ae147ae147bL);
+      (0, 0x0L);
+      (0, 0x0L);
+      (69, 0x3fb999999999999aL);
+      (9, 0x3f847ae147ae147bL);
+      (0, 0x0L);
+      (76, 0x3fb999999999999aL);
+      (10, 0x3f847ae147ae147bL);
+      (0, 0x0L);
+      (7, 0x3f847ae147ae147bL);
+      (3, 0x3f847ae147ae147bL);
+    |]
+    (fleet 8)
+
+(* An independent legacy evaluator: the seed's M-out-of-N adjudicator
+   reimplemented verbatim (double traversal, polymorphic compare and
+   all) as it stood before the combinator calculus. *)
+let legacy_combine ~required outputs =
+  let shutdowns =
+    List.length
+      (List.filter (fun o -> o = Simulator.Channel.Shutdown) outputs)
+  in
+  if shutdowns >= required then Simulator.Channel.Shutdown
+  else Simulator.Channel.No_action
+
+let count_outputs outs =
+  List.fold_left
+    (fun (s, na, ab) o ->
+      match o with
+      | Simulator.Channel.Shutdown -> (s + 1, na, ab)
+      | Simulator.Channel.No_action -> (s, na + 1, ab)
+      | Simulator.Channel.Abstain -> (s, na, ab + 1))
+    (0, 0, 0) outs
+
+let shuffle_outputs seed l =
+  let a = Array.of_list l in
+  let rng = Rng.create ~seed in
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* Every law the lib/check adjudication oracles assert, re-checked here
+   over generated calculus terms and abstention-bearing vectors, plus
+   the legacy-vs-combinator byte-identity on abstain-free inputs. *)
+let test_prop_adjudication_laws () =
+  let gen =
+    Prop.(triple (adjudicator_term ()) (channel_outputs ()) seed)
+  in
+  Prop.check ~cases:100 "adjudication laws + legacy identity" gen
+    (fun (term, outs, salt) ->
+      let module A = Simulator.Adjudicator in
+      let n = List.length outs in
+      let shutdowns, no_actions, abstains = count_outputs outs in
+      let d t = A.decide_counts t ~shutdowns ~no_actions ~abstains in
+      (* unit is a two-sided identity for compose *)
+      check_output "compose unit t == t" (d term) (d (A.compose A.unit term));
+      check_output "compose t unit == t" (d term) (d (A.compose term A.unit));
+      (* fallback is idempotent (the backup re-reads the same votes) *)
+      check_output "fallback t t == t" (d term) (d (A.fallback term term));
+      (* adjudication is permutation-invariant on the list path *)
+      if A.min_channels term <= n then
+        check_output "combine permutation-invariant" (A.combine term outs)
+          (A.combine term (shuffle_outputs salt outs));
+      (* legacy-vs-combinator byte-identity on abstain-free inputs *)
+      let free =
+        List.map
+          (fun o ->
+            if Simulator.Channel.equal o Simulator.Channel.Abstain then
+              Simulator.Channel.No_action
+            else o)
+          outs
+      in
+      for required = 1 to n do
+        let adj = A.m_out_of_n ~required in
+        check_output
+          (Printf.sprintf "%d-of-%d vote == legacy" required n)
+          (legacy_combine ~required free)
+          (A.combine adj free);
+        check_bool "system_fails == legacy"
+          (legacy_combine ~required free = Simulator.Channel.No_action)
+          (A.system_fails adj free)
+      done)
+
 let () =
   Alcotest.run "prop"
     [
@@ -647,6 +860,17 @@ let () =
             test_golden_runner_voted;
           Alcotest.test_case "fleet domain identity example" `Quick
             test_fleet_domain_identity_example;
+        ] );
+      ( "adjudication",
+        [
+          Alcotest.test_case "seed-42 runner pinned" `Quick
+            test_golden_seed42_runner_pins;
+          Alcotest.test_case "seed-42 campaign pinned" `Quick
+            test_golden_seed42_campaign_pins;
+          Alcotest.test_case "seed-42 fleet pinned" `Quick
+            test_golden_seed42_fleet_pins;
+          Alcotest.test_case "algebra laws (100 cases)" `Quick
+            test_prop_adjudication_laws;
         ] );
       ( "properties",
         [

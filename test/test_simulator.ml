@@ -125,6 +125,161 @@ let test_protection_three_channels () =
     (Simulator.Protection.true_pfd system)
 
 (* ------------------------------------------------------------------ *)
+(* Adjudication calculus                                               *)
+(* ------------------------------------------------------------------ *)
+
+let output_t =
+  Alcotest.testable Simulator.Channel.pp_output Simulator.Channel.equal
+
+let test_channel_equal_pp () =
+  let open Simulator.Channel in
+  let outputs = [ Shutdown; No_action; Abstain ] in
+  (* equal must agree with structural equality on the whole 3x3 table *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Format.asprintf "equal %a %a" pp_output a pp_output b)
+            (a = b) (equal a b))
+        outputs)
+    outputs;
+  Alcotest.(check string) "pp shutdown" "shutdown"
+    (Format.asprintf "%a" pp_output Shutdown);
+  Alcotest.(check string) "pp no-action" "no-action"
+    (Format.asprintf "%a" pp_output No_action);
+  Alcotest.(check string) "pp abstain" "abstain"
+    (Format.asprintf "%a" pp_output Abstain)
+
+let test_channel_abstain () =
+  let space = make_space () in
+  let v = Demandspace.Version.create space [ 0 ] in
+  (* self-check covering the whole failure region: every failure becomes
+     an abstention *)
+  let self_check = Demandspace.Version.failure_set v in
+  let c = Simulator.Channel.create ~self_check ~name:"A" v in
+  Alcotest.check output_t "abstains on a detected fault"
+    Simulator.Channel.Abstain
+    (Simulator.Channel.respond c (Demandspace.Demand.of_int 5));
+  Alcotest.check output_t "shuts down on clean demands"
+    Simulator.Channel.Shutdown
+    (Simulator.Channel.respond c (Demandspace.Demand.of_int 120));
+  Alcotest.(check bool) "abstains_on tracks respond" true
+    (Simulator.Channel.abstains_on c (Demandspace.Demand.of_int 5));
+  Alcotest.(check bool) "abstain set covers the detected region" true
+    (Numerics.Bitset.mem (Simulator.Channel.abstain_set c) 5);
+  (* a plain channel on the same version never abstains *)
+  let plain = Simulator.Channel.create ~name:"B" v in
+  Alcotest.check output_t "undetected failure is silent"
+    Simulator.Channel.No_action
+    (Simulator.Channel.respond plain (Demandspace.Demand.of_int 5));
+  Alcotest.(check bool) "plain abstain set is empty" false
+    (Numerics.Bitset.mem (Simulator.Channel.abstain_set plain) 5);
+  Alcotest.check_raises "mis-sized self-check"
+    (Invalid_argument "Channel.create: self-check set sized to a different space")
+    (fun () ->
+      ignore
+        (Simulator.Channel.create
+           ~self_check:(Numerics.Bitset.create 7)
+           ~name:"C" v))
+
+let test_calculus_truth_tables () =
+  let open Simulator in
+  let sd = Channel.Shutdown and na = Channel.No_action and ab = Channel.Abstain in
+  (* unit passes the verdict lattice through (any shutdown wins) *)
+  Alcotest.check output_t "unit keeps shutdown" sd
+    (Adjudicator.(combine unit) [ sd; na ]);
+  Alcotest.check output_t "unit keeps abstain" ab (Adjudicator.(combine unit) [ ab ]);
+  (* vote thresholds over mixed vectors: quorum met, lost, and broken *)
+  let v2 = Adjudicator.vote ~required:2 in
+  Alcotest.check output_t "2oo3 quorum met" sd (Adjudicator.combine v2 [ sd; sd; na ]);
+  Alcotest.check output_t "2oo3 outvoted" na (Adjudicator.combine v2 [ sd; na; na ]);
+  Alcotest.check output_t "2oo3 quorum broken by abstention" ab
+    (Adjudicator.combine v2 [ sd; ab; ab ]);
+  (* the graceful-degradation cascade: a fallback OR rescues the vote *)
+  let cascade = Adjudicator.(fallback v2 one_out_of_n) in
+  Alcotest.check output_t "fallback rescues the broken quorum" sd
+    (Adjudicator.combine cascade [ sd; ab; ab ]);
+  Alcotest.check output_t "fallback does not fire on a definite verdict" na
+    (Adjudicator.combine cascade [ sd; na; na ]);
+  (* compose cascades the survivors of the first stage *)
+  let two_stage = Adjudicator.(compose v2 one_out_of_n) in
+  Alcotest.check output_t "compose collapses the vote's verdict" sd
+    (Adjudicator.combine two_stage [ sd; sd; na ]);
+  Alcotest.(check int) "min_channels of a vote" 2 (Adjudicator.min_channels v2);
+  Alcotest.(check int) "min_channels of the cascade" 1
+    (Adjudicator.min_channels cascade);
+  Alcotest.(check bool) "terms compare structurally" true
+    (Adjudicator.equal cascade Adjudicator.(fallback (vote ~required:2) (vote ~required:1)));
+  Alcotest.check_raises "vote threshold must be positive"
+    (Invalid_argument "Adjudicator.m_out_of_n: required must be >= 1")
+    (fun () -> ignore (Adjudicator.vote ~required:0));
+  Alcotest.check_raises "arity check"
+    (Invalid_argument "Adjudicator.combine: more votes required than channels")
+    (fun () -> ignore (Adjudicator.combine v2 [ sd ]))
+
+let test_cascade_protection () =
+  let space = make_space () in
+  let va = Demandspace.Version.create space [ 0 ] in
+  let vb = Demandspace.Version.create space [ 1 ] in
+  let a =
+    Simulator.Channel.create
+      ~self_check:(Demandspace.Version.failure_set va)
+      ~name:"A" va
+  in
+  let b = Simulator.Channel.create ~name:"B" vb in
+  (* a demand in A's fault region: A abstains, B shuts down *)
+  let d = Demandspace.Demand.of_int 5 in
+  let strict = Simulator.Protection.create ~adjudicator:(Simulator.Adjudicator.vote ~required:2) [ a; b ] in
+  Alcotest.check output_t "2oo2 loses its quorum" Simulator.Channel.Abstain
+    (Simulator.Protection.respond strict d);
+  Alcotest.(check bool) "2oo2 counts it as a system failure" true
+    (Simulator.Protection.fails_on strict d);
+  let graceful =
+    Simulator.Protection.create
+      ~adjudicator:
+        Simulator.Adjudicator.(fallback (vote ~required:2) (vote ~required:1))
+      [ a; b ]
+  in
+  Alcotest.check output_t "the cascade degrades to the surviving channel"
+    Simulator.Channel.Shutdown
+    (Simulator.Protection.respond graceful d);
+  Alcotest.(check bool) "and handles the demand" false
+    (Simulator.Protection.fails_on graceful d)
+
+let test_runner_abstentions () =
+  let rng = rng0 () in
+  let space = make_space () in
+  let v = Demandspace.Version.create space [ 0 ] in
+  (* a single fully self-checking channel: every failure surfaces as a
+     lost quorum, so the runner must attribute every system failure to an
+     abstention *)
+  let c =
+    Simulator.Channel.create
+      ~self_check:(Demandspace.Version.failure_set v)
+      ~name:"A" v
+  in
+  let system = Simulator.Protection.create [ c ] in
+  let stats = Simulator.Runner.run rng ~system ~demand_count:2000 in
+  Alcotest.(check bool) "some demands hit the fault region" true
+    (stats.Simulator.Runner.system_failures > 0);
+  Alcotest.(check int) "every system failure is an abstention"
+    stats.Simulator.Runner.system_failures
+    stats.Simulator.Runner.system_abstentions;
+  (* the same system without self-checking fails identically often on
+     the same demand stream (the verdict changes, not the failure set) *)
+  let rng' = rng0 () in
+  let plain =
+    Simulator.Protection.create [ Simulator.Channel.create ~name:"A" v ]
+  in
+  let stats' = Simulator.Runner.run rng' ~system:plain ~demand_count:2000 in
+  Alcotest.(check int) "failure count matches the silent system"
+    stats'.Simulator.Runner.system_failures
+    stats.Simulator.Runner.system_failures;
+  Alcotest.(check int) "silent system never abstains" 0
+    stats'.Simulator.Runner.system_abstentions
+
+(* ------------------------------------------------------------------ *)
 (* Plant / Runner                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -272,6 +427,15 @@ let () =
             test_adjudicator_truth_table;
           Alcotest.test_case "protection pfd" `Quick test_protection_pfd;
           Alcotest.test_case "three channels" `Quick test_protection_three_channels;
+        ] );
+      ( "adjudication-calculus",
+        [
+          Alcotest.test_case "channel equal and pp" `Quick test_channel_equal_pp;
+          Alcotest.test_case "self-checking channel" `Quick test_channel_abstain;
+          Alcotest.test_case "combinator truth tables" `Quick
+            test_calculus_truth_tables;
+          Alcotest.test_case "cascade protection" `Quick test_cascade_protection;
+          Alcotest.test_case "runner abstentions" `Quick test_runner_abstentions;
         ] );
       ( "plant-runner",
         [
