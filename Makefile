@@ -61,6 +61,7 @@ check:
 	dune build @bench-smoke
 	dune build @evidence-smoke
 	dune build @adjudication-smoke
+	dune build @serve-smoke
 
 # Proven-in-use evidence pipeline, end to end: log a fleet campaign
 # (E26, seed 42) and stream the run log through the assessor with

@@ -128,6 +128,62 @@ let tests ~smoke () =
   let evidence_log =
     evidence_log_path ~events:(if smoke then 20_000 else 1_000_000)
   in
+  (* Assessment-service throughput: an in-process daemon per worker
+     count (spawned lazily, shut down at exit) and one persistent
+     client; an iteration pipelines a 32-request batch of moments
+     evaluations and drains the replies, timing codec + admission +
+     dispatch + socket I/O end to end. Responses are byte-identical
+     across the pair — only the timing may move. *)
+  let serve_lines =
+    lazy
+      (Array.init 32 (fun i ->
+           Serve.Proto.render_request
+             {
+               Serve.Proto.id = Printf.sprintf "k%d" i;
+               u =
+                 {
+                   Serve.Proto.ps = [| 0.1; 0.02; 0.3 |];
+                   qs = [| 1e-3; 1e-4; 5e-3 |];
+                 };
+               verb = Serve.Proto.Moments;
+             }))
+  in
+  let serve_client workers =
+    lazy
+      (let path = Filename.temp_file "divrel_bench_serve" ".sock" in
+       Sys.remove path;
+       let config =
+         {
+           Serve.Server.listen = Serve.Server.Unix_path path;
+           workers;
+           queue_capacity = 64;
+           batch_max = 8;
+           seed;
+         }
+       in
+       let thread =
+         Thread.create (fun () -> ignore (Serve.Server.serve config)) ()
+       in
+       let client = Serve.Client.connect (Serve.Server.Unix_path path) in
+       at_exit (fun () ->
+           (try
+              ignore
+                (Serve.Client.round_trip client
+                   (Serve.Proto.render_admin ~id:"bye" Serve.Proto.Shutdown));
+              Serve.Client.close client
+            with _ -> ());
+           try Thread.join thread with _ -> ());
+       client)
+  in
+  let serve_round client =
+    let lines = Lazy.force serve_lines in
+    Array.iter (Serve.Client.send_line client) lines;
+    for _ = 1 to Array.length lines do
+      match Serve.Client.recv_line client with
+      | Some _ -> ()
+      | None -> failwith "serve bench: server closed the connection"
+    done
+  in
   [
     Test.make ~name:"moments/n=1000"
       (Staged.stage (fun () -> ignore (Core.Moments.compute u_big)));
@@ -229,6 +285,16 @@ let tests ~smoke () =
            Evidence.Source.iter_lines src ~f:(Evidence.Assessor.ingest_line a);
            Evidence.Source.close src;
            ignore (Evidence.Verdict.of_assessor a)));
+    (* Run last, like the pool pairs above: the 4-worker daemon keeps
+       three extra domains alive from first use to process exit. *)
+    Test.make ~name:"serve-throughput/1workers"
+      (Staged.stage
+         (let client = serve_client 1 in
+          fun () -> serve_round (Lazy.force client)));
+    Test.make ~name:"serve-throughput/4workers"
+      (Staged.stage
+         (let client = serve_client 4 in
+          fun () -> serve_round (Lazy.force client)));
   ]
 
 type kernel_row = {
@@ -246,8 +312,12 @@ type kernel_row = {
    DIVREL_DOMAINS). The incremental gradient never engages the pool. *)
 let kernel_domains name =
   match name with
-  | "mc-estimate-parallel/1dom" | "fleet-observe-parallel/1dom" -> 1
-  | "mc-estimate-parallel/4dom" | "fleet-observe-parallel/4dom" -> 4
+  | "mc-estimate-parallel/1dom" | "fleet-observe-parallel/1dom"
+  | "serve-throughput/1workers" ->
+      1
+  | "mc-estimate-parallel/4dom" | "fleet-observe-parallel/4dom"
+  | "serve-throughput/4workers" ->
+      4
   | "sensitivity-gradient-naive/n=1000" -> Exec.Pool.size (Exec.Pool.default ())
   | _ -> 1
 
@@ -264,6 +334,8 @@ let generous_quota_kernels =
     "mc-estimate-parallel/4dom";
     "fleet-observe-parallel/1dom";
     "fleet-observe-parallel/4dom";
+    "serve-throughput/1workers";
+    "serve-throughput/4workers";
   ]
 
 (* The evidence-ingest kernel makes one multi-second pass over a

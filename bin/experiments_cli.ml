@@ -453,6 +453,341 @@ let evidence_cmd =
        $ bound_arg $ confidence_arg $ profile_arg $ drift_alpha_arg
        $ metrics_arg))
 
+(* ------------------------------------------------------------------ *)
+(* Assessment service verbs                                           *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Listen on (or connect to) a Unix-domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc =
+    "Listen on (or connect to) loopback TCP port $(docv); 0 picks an \
+     ephemeral port (announced on stdout)."
+  in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let listen_of_flags socket port =
+  match (socket, port) with
+  | Some path, None -> Ok (Serve.Server.Unix_path path)
+  | None, Some p -> Ok (Serve.Server.Tcp_port p)
+  | None, None -> Ok (Serve.Server.Tcp_port 0)
+  | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+
+(* Request script lines from a file or stdin; blank lines are skipped
+   (both here and in serve-client, so scripts render identically). *)
+let read_script path =
+  let read_channel ic =
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    List.rev !lines
+  in
+  let lines =
+    match path with
+    | "-" -> read_channel stdin
+    | path ->
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_channel ic)
+  in
+  List.filter (fun l -> String.trim l <> "") lines
+
+let script_arg =
+  let doc = "Request script: one JSON request per line ('-' for stdin)." in
+  Arg.(value & pos 0 string "-" & info [] ~docv:"SCRIPT" ~doc)
+
+(* In-process smoke test: daemon on a private Unix socket in a thread, a
+   scripted client through the public codec, every served response
+   compared byte-for-byte against a direct [Engine.eval]. *)
+let serve_selftest ~workers ~queue_depth ~batch ~seed =
+  let path = Filename.temp_file "divrel-serve" ".sock" in
+  let config =
+    {
+      Serve.Server.listen = Serve.Server.Unix_path path;
+      workers;
+      queue_capacity = queue_depth;
+      batch_max = batch;
+      seed;
+    }
+  in
+  let stats_slot = ref None in
+  let server =
+    Thread.create (fun () -> stats_slot := Some (Serve.Server.serve config)) ()
+  in
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr failures;
+        Printf.eprintf "serve selftest: %s\n" s)
+      fmt
+  in
+  let u = { Serve.Proto.ps = [| 0.1; 0.02; 0.3 |]; qs = [| 1e-3; 1e-4; 5e-3 |] } in
+  let work =
+    [
+      { Serve.Proto.id = "t1"; u; verb = Serve.Proto.Moments };
+      {
+        Serve.Proto.id = "t2";
+        u;
+        verb = Serve.Proto.Risk_ratio { channels = 2; required = 1 };
+      };
+      {
+        Serve.Proto.id = "t3";
+        u;
+        verb = Serve.Proto.Pfd_dist { channels = 2; required = 1; bins = 0 };
+      };
+      {
+        Serve.Proto.id = "t4";
+        u;
+        verb =
+          Serve.Proto.Fleet_mission
+            {
+              plants = 8;
+              demands_per_plant = 200;
+              mission_demands = 1000;
+              salt = 1;
+              shards = 4;
+              space = 512;
+            };
+      };
+    ]
+  in
+  let client = Serve.Client.connect (Serve.Server.Unix_path path) in
+  List.iter
+    (fun r ->
+      let expect = Serve.Engine.eval ~seed r in
+      match Serve.Client.round_trip client (Serve.Proto.render_request r) with
+      | Some got when String.equal got expect -> ()
+      | Some got ->
+          fail "%s: daemon differs from direct evaluation\n  daemon: %s\n  direct: %s"
+            r.Serve.Proto.id got expect
+      | None -> fail "%s: connection closed early" r.Serve.Proto.id)
+    work;
+  (match Serve.Client.round_trip client "{ not json" with
+  | Some line -> (
+      match Serve.Proto.parse_response line with
+      | Ok resp
+        when (not resp.Serve.Proto.resp_ok)
+             && resp.Serve.Proto.resp_error = Some "parse" ->
+          ()
+      | _ -> fail "malformed line not answered with a parse error: %s" line)
+  | None -> fail "malformed line: connection closed early");
+  (match
+     Serve.Client.round_trip client
+       (Serve.Proto.render_admin ~id:"s1" Serve.Proto.Stats)
+   with
+  | Some line -> (
+      match Serve.Proto.parse_response line with
+      | Ok resp when resp.Serve.Proto.resp_ok -> (
+          match
+            Option.bind resp.Serve.Proto.resp_body (fun b ->
+                Option.bind (Obs.Json.member "served" b) Obs.Json.to_int)
+          with
+          | Some 4 -> ()
+          | _ -> fail "stats body did not report served=4: %s" line)
+      | _ -> fail "stats request failed: %s" line)
+  | None -> fail "stats: connection closed early");
+  (match
+     Serve.Client.round_trip client
+       (Serve.Proto.render_admin ~id:"s2" Serve.Proto.Shutdown)
+   with
+  | Some line -> (
+      match Serve.Proto.parse_response line with
+      | Ok resp when resp.Serve.Proto.resp_ok -> ()
+      | _ -> fail "shutdown request failed: %s" line)
+  | None -> fail "shutdown: connection closed early");
+  Serve.Client.close client;
+  Thread.join server;
+  (match !stats_slot with
+  | Some st
+    when st.Serve.Server.served = 4
+         && st.Serve.Server.malformed = 1
+         && st.Serve.Server.rejected = 0 ->
+      ()
+  | Some st ->
+      fail "session stats off: served=%d rejected=%d malformed=%d"
+        st.Serve.Server.served st.Serve.Server.rejected
+        st.Serve.Server.malformed
+  | None -> fail "server thread returned no stats");
+  if !failures = 0 then begin
+    Printf.printf
+      "serve selftest: ok (4 verbs byte-identical to direct evaluation, \
+       malformed counted, stats/shutdown clean; workers=%d)\n"
+      workers;
+    `Ok ()
+  end
+  else `Error (false, Printf.sprintf "serve selftest: %d failure(s)" !failures)
+
+let serve_cmd =
+  let workers_arg =
+    let doc =
+      "Dispatcher pool size. Responses are byte-identical for any value."
+    in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission queue capacity; past it requests are rejected with a busy \
+       line carrying retry_after_ms."
+    in
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"D" ~doc)
+  in
+  let batch_arg =
+    let doc = "Most requests dispatched per pool batch." in
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc)
+  in
+  let selftest_arg =
+    let doc =
+      "Run an in-process smoke test instead of serving: daemon on a private \
+       Unix socket, scripted client, byte-identity against direct \
+       evaluation. Exits non-zero on any mismatch."
+    in
+    Arg.(value & flag & info [ "selftest" ] ~doc)
+  in
+  let run socket port workers queue_depth batch seed selftest metrics =
+    setup_logs ();
+    if workers < 1 then `Error (false, "--workers must be >= 1")
+    else if queue_depth < 1 then `Error (false, "--queue-depth must be >= 1")
+    else if batch < 1 then `Error (false, "--batch must be >= 1")
+    else if selftest then serve_selftest ~workers ~queue_depth ~batch ~seed
+    else
+      match listen_of_flags socket port with
+      | Error msg -> `Error (false, msg)
+      | Ok listen ->
+          let config =
+            {
+              Serve.Server.listen;
+              workers;
+              queue_capacity = queue_depth;
+              batch_max = batch;
+              seed;
+            }
+          in
+          if metrics <> None then Obs.Metrics.set_enabled true;
+          let on_ready port =
+            (match port with
+            | Some p -> Printf.printf "serve: listening tcp port=%d\n" p
+            | None ->
+                Printf.printf "serve: listening socket=%s\n"
+                  (match listen with
+                  | Serve.Server.Unix_path p -> p
+                  | Serve.Server.Tcp_port _ -> assert false));
+            flush stdout
+          in
+          let stats = Serve.Server.serve ~on_ready config in
+          Printf.printf
+            "serve: done served=%d rejected=%d malformed=%d batches=%d \
+             draws=%d\n"
+            stats.Serve.Server.served stats.Serve.Server.rejected
+            stats.Serve.Server.malformed stats.Serve.Server.batches
+            stats.Serve.Server.draws_total;
+          Option.iter
+            (fun path -> write_file path (Obs.Metrics.render_json ()))
+            metrics;
+          if metrics <> None then Obs.Metrics.set_enabled false;
+          `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the assessment daemon: JSONL requests (moments, risk-ratio, \
+          pfd-dist, fleet-mission, stats, shutdown) over a Unix or loopback \
+          TCP socket, bounded admission queue with deterministic \
+          retry-after backpressure, batched dispatch onto an Exec pool. \
+          Every response is a pure function of (--seed, request): \
+          byte-identical to 'assess' output for any --workers value.")
+    Term.(
+      ret
+        (const run $ socket_arg $ port_arg $ workers_arg $ queue_arg
+       $ batch_arg $ seed_arg $ selftest_arg $ metrics_arg))
+
+let serve_client_cmd =
+  let pipeline_arg =
+    let doc =
+      "Send the whole script before reading replies (one reply per line is \
+       still guaranteed) instead of strict request/reply alternation."
+    in
+    Arg.(value & flag & info [ "pipeline" ] ~doc)
+  in
+  let run socket port script pipeline =
+    setup_logs ();
+    match listen_of_flags socket port with
+    | Error msg -> `Error (false, msg)
+    | Ok (Serve.Server.Tcp_port 0) ->
+        `Error (false, "serve-client needs --socket PATH or --port PORT")
+    | Ok listen -> (
+        let lines = read_script script in
+        let client = Serve.Client.connect listen in
+        let finish () = Serve.Client.close client in
+        match
+          Fun.protect ~finally:finish (fun () ->
+              if pipeline then begin
+                List.iter (Serve.Client.send_line client) lines;
+                let rec drain n =
+                  if n > 0 then
+                    match Serve.Client.recv_line client with
+                    | Some reply ->
+                        print_endline reply;
+                        drain (n - 1)
+                    | None -> Error "server closed before all replies arrived"
+                  else Ok ()
+                in
+                drain (List.length lines)
+              end
+              else
+                List.fold_left
+                  (fun acc line ->
+                    match acc with
+                    | Error _ -> acc
+                    | Ok () -> (
+                        match Serve.Client.round_trip client line with
+                        | Some reply ->
+                            print_endline reply;
+                            Ok ()
+                        | None -> Error "server closed before replying"))
+                  (Ok ()) lines)
+        with
+        | Ok () -> `Ok ()
+        | Error msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "serve-client"
+       ~doc:
+         "Scripted client for the assessment daemon: send each non-blank \
+          line of SCRIPT as a request, print each reply line. Exactly one \
+          reply per request, in order.")
+    Term.(ret (const run $ socket_arg $ port_arg $ script_arg $ pipeline_arg))
+
+let assess_cmd =
+  let run seed script =
+    setup_logs ();
+    List.iter
+      (fun line ->
+        let reply =
+          match Serve.Proto.parse_line line with
+          | Error detail -> Serve.Proto.error_line ~error:"parse" ~detail ()
+          | Ok (Serve.Proto.Work r) -> Serve.Engine.eval ~seed r
+          | Ok (Serve.Proto.Admin { id; _ }) ->
+              Serve.Proto.error_line ~id ~error:"unsupported"
+                ~detail:"admin verb requires the daemon" ()
+        in
+        print_endline reply)
+      (read_script script)
+  in
+  Cmd.v
+    (Cmd.info "assess"
+       ~doc:
+         "One-shot assessment: evaluate each non-blank request line of \
+          SCRIPT directly (no daemon) and print the response lines. \
+          Byte-identical to what 'serve' answers for the same --seed and \
+          requests, for any worker count — the anchor the serve-vs-cli \
+          differential tests compare against.")
+    Term.(const run $ seed_arg $ script_arg)
+
 let main =
   let doc =
     "Reproduction harness for Popov & Strigini, 'The Reliability of Diverse \
@@ -460,6 +795,15 @@ let main =
   in
   Cmd.group
     (Cmd.info "divrel-experiments" ~doc)
-    [ list_cmd; run_cmd; all_cmd; check_cmd; evidence_cmd ]
+    [
+      list_cmd;
+      run_cmd;
+      all_cmd;
+      check_cmd;
+      evidence_cmd;
+      serve_cmd;
+      serve_client_cmd;
+      assess_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

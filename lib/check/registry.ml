@@ -840,6 +840,96 @@ let adjudication_policy_vs_binomial =
           (Compare.approx pmu (Core.Pfd_dist.mean dist));
       ])
 
+(* ---- the assessment service vs the one-shot evaluator ---- *)
+
+let serve_vs_cli =
+  let id = "serve-vs-cli" in
+  Oracle.make ~id
+    ~description:
+      "Served responses (Serve.Dispatcher batch over the ambient pool, any \
+       worker count) vs direct Serve.Engine.eval: byte identity per verb, \
+       plus the served moments body cross-read against Core.Moments \
+       bit-exactly"
+    (fun s ->
+      let u = Scenario.universe s and arch = Scenario.arch s in
+      let spec =
+        { Serve.Proto.ps = Core.Universe.ps u; qs = Core.Universe.qs u }
+      in
+      let channels = Core.Voting.channels arch in
+      let required = Core.Voting.required arch in
+      (* Request parameters drawn from the oracle's private substream:
+         the scenario sweep also exercises the service on varying fleet
+         shapes, salts and shard counts. *)
+      let rng = Oracle.rng s ~salt:19 in
+      let bins =
+        if Core.Universe.size u <= Core.Pfd_dist.max_exact_faults then 0
+        else 128 + Rng.int rng 128
+      in
+      let requests =
+        [|
+          { Serve.Proto.id = "o-moments"; u = spec; verb = Serve.Proto.Moments };
+          {
+            Serve.Proto.id = "o-risk";
+            u = spec;
+            verb = Serve.Proto.Risk_ratio { channels; required };
+          };
+          {
+            Serve.Proto.id = "o-dist";
+            u = spec;
+            verb = Serve.Proto.Pfd_dist { channels; required; bins };
+          };
+          {
+            Serve.Proto.id = "o-fleet";
+            u = spec;
+            verb =
+              Serve.Proto.Fleet_mission
+                {
+                  plants = 4 + Rng.int rng 5;
+                  demands_per_plant = 50 + Rng.int rng 100;
+                  mission_demands = 500;
+                  salt = Rng.int rng 1024;
+                  shards = 1 + Rng.int rng 8;
+                  space = 1024;
+                };
+          };
+        |]
+      in
+      let seed = Scenario.sim_seed s in
+      let disp = Serve.Dispatcher.create ~pool:(Exec.Pool.default ()) ~seed in
+      let served = Serve.Dispatcher.run_batch disp requests in
+      let identity =
+        Array.to_list
+          (Array.mapi
+             (fun i (res : Serve.Dispatcher.result) ->
+               let direct = Serve.Engine.eval ~seed requests.(i) in
+               let same = if String.equal res.Serve.Dispatcher.line direct then 1.0 else 0.0 in
+               mk ~oracle:id
+                 ~quantity:
+                   (Printf.sprintf "%s byte-identity"
+                      (Serve.Proto.verb_name requests.(i)))
+                 ~analytic:1.0 ~simulated:same (Compare.exact_bits 1.0 same))
+             served)
+      in
+      (* Cross-read: the served moments body must carry the closed forms
+         bit-exactly (the JSON float codec round-trips exactly). *)
+      let served_mu2 =
+        match Serve.Proto.parse_response (served.(0)).Serve.Dispatcher.line with
+        | Ok resp -> (
+            match
+              Option.bind resp.Serve.Proto.resp_body (fun b ->
+                  Option.bind (Obs.Json.member "mu2" b) Obs.Json.to_float)
+            with
+            | Some v -> v
+            | None -> nan)
+        | Error _ -> nan
+      in
+      let mu2 = Core.Moments.mu2 u in
+      identity
+      @ [
+          mk ~oracle:id ~quantity:"served mu2 field" ~analytic:mu2
+            ~simulated:served_mu2 (Compare.exact_bits mu2 served_mu2);
+        ])
+
 let all =
   [
     moments_vs_montecarlo;
@@ -863,6 +953,7 @@ let all =
     adjudication_vote_vs_legacy;
     adjudication_graceful_degradation;
     adjudication_policy_vs_binomial;
+    serve_vs_cli;
   ]
 
 let ids () = List.map Oracle.id all

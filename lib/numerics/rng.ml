@@ -18,12 +18,23 @@ let total = Atomic.make 0 (* divlint: allow domain-containment *)
 
 let pending : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
+(* Cumulative draws already flushed by this domain. Together with the
+   pending counter this gives [local_draws] — an exact per-domain draw
+   total that needs no atomic on the draw path and survives flushes, so
+   single-domain request handlers (lib/serve) can meter the draws of one
+   evaluation as a delta around it. *)
+let flushed : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
 let flush_draws () =
   let p = Domain.DLS.get pending in
   if !p <> 0 then begin
     ignore (Atomic.fetch_and_add total !p) (* divlint: allow domain-containment *);
+    let f = Domain.DLS.get flushed in
+    f := !f + !p;
     p := 0
   end
+
+let local_draws () = !(Domain.DLS.get flushed) + !(Domain.DLS.get pending)
 
 (* splitmix64: used to expand a seed into the xoshiro state, and to derive
    independent substreams. *)

@@ -37,6 +37,15 @@ val total_draws : unit -> int
     task joins — so the value is exact after any parallel region and on
     any purely sequential read, without an atomic operation per draw. *)
 
+val local_draws : unit -> int
+(** Cumulative raw draws made by the calling domain across every
+    generator it has driven (flushed or still pending — flushing never
+    resets this). A computation confined to one domain consumes exactly
+    [local_draws () - before] draws, which is how the assessment
+    service meters the cost of a single request without touching the
+    process-wide atomic: each served request evaluates wholly on one
+    pool worker, so the per-domain delta is exact. *)
+
 val flush_draws : unit -> unit
 (** Merge the calling domain's pending draw count into the process-wide
     total. {!total_draws} calls this for the current domain; worker pools

@@ -1,0 +1,42 @@
+(* Bounded FIFO admission queue. Single-threaded by design: the server's
+   event loop is the only caller, so no locks — the bound is the
+   backpressure policy, not a concurrency device. Rejections are
+   deterministic in the queue state ([depth >= capacity]), which is what
+   lets the soak test assert exact accounting: every offered request is
+   either admitted (and answered exactly once) or rejected with a
+   well-formed retry-after. *)
+
+type 'a t = {
+  capacity : int;
+  queue : 'a Queue.t;
+  mutable accepted : int;
+  mutable rejected : int;
+}
+
+type 'a verdict = Admitted | Rejected of { queue_depth : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  { capacity; queue = Queue.create (); accepted = 0; rejected = 0 }
+
+let capacity t = t.capacity
+let depth t = Queue.length t.queue
+let accepted t = t.accepted
+let rejected t = t.rejected
+
+let offer t x =
+  let d = Queue.length t.queue in
+  if d >= t.capacity then begin
+    t.rejected <- t.rejected + 1;
+    Rejected { queue_depth = d }
+  end
+  else begin
+    Queue.push x t.queue;
+    t.accepted <- t.accepted + 1;
+    Admitted
+  end
+
+let take_batch t ~max =
+  if max < 1 then invalid_arg "Admission.take_batch: max must be >= 1";
+  let n = min max (Queue.length t.queue) in
+  Array.init n (fun _ -> Queue.pop t.queue)

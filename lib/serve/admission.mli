@@ -1,0 +1,33 @@
+(** Bounded FIFO admission queue — the service's backpressure policy.
+
+    Single-threaded: the server's event loop is the only caller. The
+    verdict is deterministic in the queue state (reject exactly when
+    [depth t >= capacity t]), so a scripted client can predict — and a
+    test assert — precisely which offers bounce. *)
+
+type 'a t
+
+type 'a verdict =
+  | Admitted
+  | Rejected of { queue_depth : int }
+      (** [queue_depth] is the depth observed at rejection, which the
+          server echoes (with {!Proto.retry_after_ms}) in the busy
+          line. *)
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val offer : 'a t -> 'a -> 'a verdict
+(** Enqueue, or reject when the queue is full. *)
+
+val take_batch : 'a t -> max:int -> 'a array
+(** Dequeue up to [max] items in FIFO order (possibly empty). *)
+
+val capacity : 'a t -> int
+val depth : 'a t -> int
+
+val accepted : 'a t -> int
+(** Offers admitted since creation. *)
+
+val rejected : 'a t -> int
+(** Offers rejected since creation. *)

@@ -154,6 +154,69 @@ let space ?(max_size = 160) ?(max_faults = 5) () =
         ~profile:(Demandspace.Profile.uniform ~size)
         ~faults)
 
+(* Assessment-service request terms (the lib/serve wire protocol): any
+   verb, universe vectors and knobs within the protocol limits, float
+   parameters drawn from the full [0, 1) double range so the codec
+   round-trip property exercises exact float rendering. Shrinks toward
+   the cheapest verb (Moments), then drops trailing faults — a failing
+   codec property lands on a one-fault moments request. *)
+let serve_request ?(max_faults = 8) () =
+  if max_faults < 1 then
+    invalid_arg "Prop.serve_request: max_faults must be >= 1";
+  let truncate (r : Serve.Proto.request) k =
+    {
+      r with
+      Serve.Proto.u =
+        {
+          Serve.Proto.ps = Array.sub r.Serve.Proto.u.Serve.Proto.ps 0 k;
+          qs = Array.sub r.Serve.Proto.u.Serve.Proto.qs 0 k;
+        };
+    }
+  in
+  make
+    ~shrink:(fun (r : Serve.Proto.request) ->
+      let n = Array.length r.Serve.Proto.u.Serve.Proto.ps in
+      Seq.append
+        (match r.Serve.Proto.verb with
+        | Serve.Proto.Moments -> Seq.empty
+        | _ -> Seq.return { r with Serve.Proto.verb = Serve.Proto.Moments })
+        (List.to_seq [ (n + 1) / 2; n - 1 ]
+        |> Seq.filter (fun k -> k >= 1 && k < n)
+        |> Seq.map (truncate r)))
+    ~pp:Serve.Proto.pp_request
+    (fun rng ->
+      let n = 1 + Numerics.Rng.int rng max_faults in
+      let ps = Array.init n (fun _ -> Numerics.Rng.float rng) in
+      let qs =
+        Array.init n (fun _ -> Numerics.Rng.float rng /. float_of_int n)
+      in
+      let u = { Serve.Proto.ps; qs } in
+      let id = Printf.sprintf "r%d" (Numerics.Rng.int rng 1_000_000) in
+      let channels = 1 + Numerics.Rng.int rng 8 in
+      let required = 1 + Numerics.Rng.int rng channels in
+      let verb =
+        match Numerics.Rng.int rng 4 with
+        | 0 -> Serve.Proto.Moments
+        | 1 -> Serve.Proto.Risk_ratio { channels; required }
+        | 2 ->
+            let bins =
+              if Numerics.Rng.int rng 3 = 0 then 0
+              else 2 + Numerics.Rng.int rng 511
+            in
+            Serve.Proto.Pfd_dist { channels; required; bins }
+        | _ ->
+            Serve.Proto.Fleet_mission
+              {
+                plants = 1 + Numerics.Rng.int rng 64;
+                demands_per_plant = 1 + Numerics.Rng.int rng 10_000;
+                mission_demands = 1 + Numerics.Rng.int rng 1_000_000;
+                salt = Numerics.Rng.int rng 4096;
+                shards = 1 + Numerics.Rng.int rng 16;
+                space = 16 + Numerics.Rng.int rng 4096;
+              }
+      in
+      { Serve.Proto.id; u; verb })
+
 (* ---- differential-oracle generators (lib/check) ---- *)
 
 let arch_eq a b =

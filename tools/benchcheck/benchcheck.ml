@@ -5,8 +5,8 @@
    gate. Checks: the file parses as JSON, carries the divrel-bench/2
    schema marker, a seed, a git_rev, and a non-empty kernels array whose
    entries each have a name, numeric-or-null ns_per_run / r_square, a
-   sample count and a positive domain count; the parallel-estimate and
-   fleet-observe kernel pairs must be present. On a full-mode artefact
+   sample count and a positive domain count; the parallel-estimate,
+   fleet-observe and serve-throughput kernel pairs must be present. On a full-mode artefact
    (mode = "full", i.e. real timings, not the --smoke structural pass)
    the required kernels must additionally publish an OLS fit with
    r_square >= 0.9 — the repo's floor for a timing it is willing to
@@ -72,6 +72,8 @@ let required_kernels =
     "sensitivity-gradient-incremental/n=1000";
     "exact-pfd-dist/n=16";
     "exact-pfd-dist-fast/n=16";
+    "serve-throughput/1workers";
+    "serve-throughput/4workers";
   ]
 
 (* Minimum OLS fit quality a full-mode artefact may publish for the
